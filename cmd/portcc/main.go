@@ -1,0 +1,101 @@
+// Command portcc is the portable optimising compiler CLI (the paper's
+// Figure 2 tool): it compiles a benchmark for a target microarchitecture,
+// optionally letting the learned model choose the optimisation passes from
+// one -O3 profiling run.
+//
+// Usage:
+//
+//	portcc -prog rijndael_e [-il1 4096] [-dl1 32768] [-btb 512] [-model ds.gob] [-flags "..."]
+//
+// Without -model the program is compiled at -O3. With -model, a dataset
+// file (from cmd/trainer) is loaded, the model trained, and the
+// predicted-best passes applied. The tool prints the chosen passes, code
+// size, cycles and the Table 1 counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"portcc"
+	"portcc/internal/dataset"
+	"portcc/internal/features"
+	"portcc/internal/uarch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("portcc: ")
+	progName := flag.String("prog", "rijndael_e", "benchmark program to compile")
+	il1 := flag.Int("il1", 32<<10, "instruction cache size in bytes")
+	il1Assoc := flag.Int("il1assoc", 32, "instruction cache associativity")
+	dl1 := flag.Int("dl1", 32<<10, "data cache size in bytes")
+	dl1Assoc := flag.Int("dl1assoc", 32, "data cache associativity")
+	btb := flag.Int("btb", 512, "branch target buffer entries")
+	modelFile := flag.String("model", "", "dataset file to train the model from")
+	list := flag.Bool("list", false, "list available benchmark programs")
+	flag.Parse()
+
+	if *list {
+		for _, n := range portcc.Programs() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	arch := uarch.XScale()
+	arch.IL1Size = *il1
+	arch.IL1Assoc = *il1Assoc
+	arch.DL1Size = *dl1
+	arch.DL1Assoc = *dl1Assoc
+	arch.BTBSize = *btb
+	if err := arch.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	c := portcc.New()
+	cfg := portcc.O3()
+	how := "-O3 (no model)"
+	if *modelFile != "" {
+		ds, err := dataset.Load(*modelFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := portcc.TrainModel(ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err = c.OptimizeFor(*progName, arch, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		how = "model-predicted passes (one -O3 profile run)"
+	}
+
+	bin, err := c.Compile(*progName, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(*progName, cfg, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	speedup, err := c.Speedup(*progName, cfg, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("program:   %s\n", *progName)
+	fmt.Printf("target:    %s\n", arch)
+	fmt.Printf("passes:    %s\n", how)
+	fmt.Printf("           %s\n", cfg.String())
+	fmt.Printf("code size: %d bytes (%d padding)\n", bin.TotalBytes, bin.PadBytes)
+	fmt.Printf("cycles:    %d   IPC %.3f   speedup vs -O3: %.3fx\n", res.Cycles, res.IPC(), speedup)
+	fmt.Printf("power:     %.1f mW (Cacti-style energy model)\n", res.PowerMW())
+	fmt.Println("counters:")
+	cs := features.Counters(&res)
+	for i, n := range features.CounterNames() {
+		fmt.Printf("  %-18s %.4f\n", n, cs[i])
+	}
+}

@@ -1,0 +1,58 @@
+// Command trainer generates the paper's training dataset (Section 3.2):
+// for every sampled (program, microarchitecture, optimisation setting)
+// triple, the speedup over -O3 and the -O3 performance counters. The
+// result is written with gob encoding for cmd/portcc and cmd/expgen.
+//
+// Usage:
+//
+//	trainer -out dataset.gob [-scale small] [-archs N] [-opts N] [-extended]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"portcc/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trainer: ")
+	out := flag.String("out", "dataset.gob", "output file")
+	scaleName := flag.String("scale", "small", "sampling scale: tiny, small, medium or paper")
+	archs := flag.Int("archs", 0, "override architecture sample count")
+	opts := flag.Int("opts", 0, "override optimisation sample count")
+	extended := flag.Bool("extended", false, "use the Section 7 extended space")
+	flag.Parse()
+
+	scale, ok := map[string]experiments.Scale{
+		"tiny": experiments.Tiny, "small": experiments.Small,
+		"medium": experiments.Medium, "paper": experiments.Paper,
+	}[*scaleName]
+	if !ok {
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	if *archs > 0 {
+		scale.NumArchs = *archs
+	}
+	if *opts > 0 {
+		scale.NumOpts = *opts
+	}
+
+	start := time.Now()
+	gc := scale.GenConfig(*extended)
+	fmt.Printf("generating %s dataset: %d programs x %d archs x %d settings (extended=%v)\n",
+		scale.Name, len(gc.Programs), scale.NumArchs, scale.NumOpts, *extended)
+	ds, err := scale.Dataset(*extended)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	nP, nA, nO := ds.Dims()
+	fmt.Printf("wrote %s: %d pairs (%d x %d), %d settings each, in %s\n",
+		*out, nP*nA, nP, nA, nO, time.Since(start).Round(time.Second))
+}

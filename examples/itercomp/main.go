@@ -1,0 +1,76 @@
+// Itercomp: iterative compilation versus the learned model (the paper's
+// Section 5.3 comparison). For one program/microarchitecture pair we run
+// random search, hill climbing and a genetic algorithm over the
+// optimisation space, then show how many evaluations each needs to match
+// what the model achieves after a single -O3 profiling run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"portcc"
+	"portcc/internal/opt"
+	"portcc/internal/search"
+)
+
+func main() {
+	const program = "search"
+	arch := portcc.XScale()
+	arch.IL1Size = 8 << 10
+	arch.IL1Assoc = 4
+
+	compiler := portcc.New()
+	o3 := portcc.O3()
+	base, err := compiler.CyclesPerRun(program, o3, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	objective := func(c *opt.Config) float64 {
+		cyc, err := compiler.CyclesPerRun(program, *c, arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return base / cyc
+	}
+
+	// The model's single-profile-run prediction.
+	ds, err := portcc.TinyScale().Dataset(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := portcc.TrainModel(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := compiler.OptimizeFor(program, arch, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	modelSpeedup := objective(&cfg)
+	fmt.Printf("%s on %s\n", program, arch)
+	fmt.Printf("model (1 profile run): %.3fx vs -O3\n\n", modelSpeedup)
+
+	const evals = 200
+	for _, s := range []struct {
+		name string
+		run  func(search.Objective, int, *rand.Rand) search.Result
+	}{
+		{"random search", search.Random},
+		{"hill climbing", search.HillClimb},
+		{"genetic algorithm", search.Genetic},
+	} {
+		rng := rand.New(rand.NewSource(7))
+		res := s.run(objective, evals, rng)
+		toMatch := search.EvalsToReach(res.Curve, modelSpeedup)
+		match := fmt.Sprintf("%d evaluations", toMatch)
+		if toMatch < 0 {
+			match = fmt.Sprintf("not matched in %d evaluations", evals)
+		}
+		fmt.Printf("%-18s best %.3fx after %d evals; model matched after %s\n",
+			s.name, res.BestScore, res.Evals, match)
+	}
+	fmt.Println("\n(The paper reports iterative compilation needing ~50 evaluations")
+	fmt.Println(" on average to match the model's one-run performance.)")
+}

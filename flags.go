@@ -1,0 +1,56 @@
+package portcc
+
+import "portcc/internal/opt"
+
+// Flag and Param identify optimisation dimensions of OptConfig.
+type (
+	Flag  = opt.Flag
+	Param = opt.Param
+)
+
+// The boolean optimisation flags of the paper's Figure 3 space.
+const (
+	FThreadJumps            = opt.FThreadJumps
+	FCrossjumping           = opt.FCrossjumping
+	FOptimizeSiblingCalls   = opt.FOptimizeSiblingCalls
+	FCseFollowJumps         = opt.FCseFollowJumps
+	FCseSkipBlocks          = opt.FCseSkipBlocks
+	FExpensiveOptimizations = opt.FExpensiveOptimizations
+	FStrengthReduce         = opt.FStrengthReduce
+	FRerunCseAfterLoop      = opt.FRerunCseAfterLoop
+	FRerunLoopOpt           = opt.FRerunLoopOpt
+	FCallerSaves            = opt.FCallerSaves
+	FPeephole2              = opt.FPeephole2
+	FRegmove                = opt.FRegmove
+	FReorderBlocks          = opt.FReorderBlocks
+	FAlignFunctions         = opt.FAlignFunctions
+	FAlignJumps             = opt.FAlignJumps
+	FAlignLoops             = opt.FAlignLoops
+	FAlignLabels            = opt.FAlignLabels
+	FTreeVrp                = opt.FTreeVrp
+	FTreePre                = opt.FTreePre
+	FUnswitchLoops          = opt.FUnswitchLoops
+	FGcse                   = opt.FGcse
+	FNoGcseLm               = opt.FNoGcseLm
+	FGcseSm                 = opt.FGcseSm
+	FGcseLas                = opt.FGcseLas
+	FGcseAfterReload        = opt.FGcseAfterReload
+	FScheduleInsns          = opt.FScheduleInsns
+	FNoSchedInterblock      = opt.FNoSchedInterblock
+	FNoSchedSpec            = opt.FNoSchedSpec
+	FInlineFunctions        = opt.FInlineFunctions
+	FUnrollLoops            = opt.FUnrollLoops
+)
+
+// The bounded optimisation parameters of the Figure 3 space.
+const (
+	PMaxGcsePasses       = opt.PMaxGcsePasses
+	PMaxInlineInsnsAuto  = opt.PMaxInlineInsnsAuto
+	PLargeFunctionInsns  = opt.PLargeFunctionInsns
+	PLargeFunctionGrowth = opt.PLargeFunctionGrowth
+	PLargeUnitInsns      = opt.PLargeUnitInsns
+	PInlineUnitGrowth    = opt.PInlineUnitGrowth
+	PInlineCallCost      = opt.PInlineCallCost
+	PMaxUnrollTimes      = opt.PMaxUnrollTimes
+	PMaxUnrolledInsns    = opt.PMaxUnrolledInsns
+)

@@ -1,0 +1,143 @@
+// Package cache implements the set-associative, LRU-replacement cache model
+// used for both the instruction and data caches of the simulated XScale-class
+// core. Only hit/miss behaviour is modelled here; latencies and energies are
+// charged by the CPU model from the Cacti-style numbers in internal/uarch.
+package cache
+
+import "fmt"
+
+// Cache is a set-associative cache with true-LRU replacement.
+// It is not safe for concurrent use.
+type Cache struct {
+	tags     []uint32 // numSets*assoc entries; 0 means invalid
+	used     []uint64 // LRU stamps parallel to tags
+	assoc    int
+	setMask  uint32
+	blockLg  uint32
+	setBits  uint32
+	stamp    uint64
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a cache of the given total size, associativity and block size,
+// all in bytes (associativity in ways). Size must be divisible by
+// assoc*block; all three must be powers of two.
+func New(sizeBytes, assoc, blockBytes int) (*Cache, error) {
+	if sizeBytes <= 0 || assoc <= 0 || blockBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry %d/%d/%d", sizeBytes, assoc, blockBytes)
+	}
+	if sizeBytes%(assoc*blockBytes) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible by assoc %d * block %d", sizeBytes, assoc, blockBytes)
+	}
+	numSets := sizeBytes / (assoc * blockBytes)
+	for _, v := range []int{sizeBytes, assoc, blockBytes, numSets} {
+		if v&(v-1) != 0 {
+			return nil, fmt.Errorf("cache: geometry %d not a power of two", v)
+		}
+	}
+	c := &Cache{
+		tags:    make([]uint32, numSets*assoc),
+		used:    make([]uint64, numSets*assoc),
+		assoc:   assoc,
+		setMask: uint32(numSets - 1),
+		blockLg: log2u(uint32(blockBytes)),
+		setBits: log2u(uint32(numSets)),
+	}
+	return c, nil
+}
+
+func log2u(v uint32) uint32 {
+	var n uint32
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// MustNew is New panicking on error, for geometry known valid at compile
+// time (e.g. values drawn from the Table 2 lists).
+func MustNew(sizeBytes, assoc, blockBytes int) *Cache {
+	c, err := New(sizeBytes, assoc, blockBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access touches addr and reports whether it hit. Misses allocate
+// (write-allocate policy for both loads and stores).
+func (c *Cache) Access(addr uint32) bool {
+	c.accesses++
+	c.stamp++
+	line := addr >> c.blockLg
+	set := line & c.setMask
+	tag := (line >> c.setBits) + 1 // +1 so 0 means invalid, collision-free
+	base := int(set) * c.assoc
+	victim := base
+	oldest := c.used[base]
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == tag {
+			c.used[i] = c.stamp
+			return true
+		}
+		if c.used[i] < oldest {
+			oldest = c.used[i]
+			victim = i
+		}
+	}
+	c.misses++
+	c.tags[victim] = tag
+	c.used[victim] = c.stamp
+	return false
+}
+
+// Contains reports whether addr is currently resident, without touching
+// LRU state or statistics.
+func (c *Cache) Contains(addr uint32) bool {
+	line := addr >> c.blockLg
+	set := line & c.setMask
+	tag := (line >> c.setBits) + 1
+	base := int(set) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockBytes returns the block size in bytes.
+func (c *Cache) BlockBytes() int { return 1 << c.blockLg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.setMask) + 1 }
+
+// Assoc returns the associativity in ways.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Accesses returns the access count so far.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the miss count so far.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.used[i] = 0
+	}
+	c.stamp = 0
+	c.accesses = 0
+	c.misses = 0
+}

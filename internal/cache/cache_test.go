@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 2 sets x 1 way x 16-byte blocks = 32 bytes: addresses 0 and 32
+	// conflict on set 0.
+	c := MustNew(32, 1, 16)
+	if c.Access(0) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0) {
+		t.Error("second access must hit")
+	}
+	if c.Access(32) {
+		t.Error("conflicting line must miss")
+	}
+	if c.Access(0) {
+		t.Error("evicted line must miss again")
+	}
+	if c.Misses() != 3 || c.Accesses() != 4 {
+		t.Errorf("misses/accesses = %d/%d, want 3/4", c.Misses(), c.Accesses())
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// 1 set x 2 ways x 16-byte blocks.
+	c := MustNew(32, 2, 16)
+	c.Access(0)  // miss, resident {0}
+	c.Access(32) // miss, resident {0,32}
+	c.Access(0)  // hit: 32 is now LRU
+	c.Access(64) // miss: evicts 32
+	if !c.Contains(0) {
+		t.Error("most recently used line evicted")
+	}
+	if c.Contains(32) {
+		t.Error("LRU line not evicted")
+	}
+	if !c.Contains(64) {
+		t.Error("new line not resident")
+	}
+}
+
+func TestWithinBlockHits(t *testing.T) {
+	c := MustNew(1<<10, 2, 32)
+	c.Access(100)
+	if !c.Access(101) || !c.Access(127&^31) {
+		t.Error("accesses within the same block must hit")
+	}
+}
+
+func TestGeometryErrors(t *testing.T) {
+	cases := [][3]int{
+		{0, 1, 16},  // zero size
+		{48, 1, 16}, // 3 sets: not a power of two
+		{32, 3, 16}, // not divisible
+		{32, 1, 10}, // block not power of two
+		{-4, 1, 16}, // negative
+	}
+	for _, g := range cases {
+		if _, err := New(g[0], g[1], g[2]); err == nil {
+			t.Errorf("geometry %v accepted", g)
+		}
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c := MustNew(64, 2, 16)
+	c.Access(0)
+	c.Access(16)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Error("reset must clear statistics")
+	}
+	if c.Contains(0) {
+		t.Error("reset must clear contents")
+	}
+}
+
+func TestMissRateBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(256, 2, 16)
+		for i := 0; i < 200; i++ {
+			c.Access(rng.Uint32() % 4096)
+		}
+		mr := c.MissRate()
+		return mr >= 0 && mr <= 1 && c.Accesses() == 200
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContainsConsistency: after Access(a), Contains(a) holds until enough
+// conflicting lines evict it.
+func TestContainsConsistency(t *testing.T) {
+	f := func(addrRaw uint32) bool {
+		c := MustNew(1<<12, 4, 32)
+		addr := addrRaw % (1 << 20)
+		c.Access(addr)
+		return c.Contains(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// A working set equal to the cache size must stop missing after the
+	// first pass (fully associative within sets thanks to power-of-two
+	// striding).
+	c := MustNew(1<<12, 4, 32)
+	for pass := 0; pass < 3; pass++ {
+		for a := uint32(0); a < 1<<12; a += 32 {
+			c.Access(a)
+		}
+	}
+	// 128 cold misses, then hits.
+	if c.Misses() != 128 {
+		t.Errorf("misses = %d, want 128 cold only", c.Misses())
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	c := MustNew(1<<12, 4, 32)
+	if c.Sets() != 32 || c.Assoc() != 4 || c.BlockBytes() != 32 {
+		t.Errorf("geometry accessors wrong: %d sets, %d ways, %dB",
+			c.Sets(), c.Assoc(), c.BlockBytes())
+	}
+}

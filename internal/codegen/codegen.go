@@ -1,0 +1,206 @@
+// Package codegen lowers an optimised (and register-allocated) IR module to
+// a binary image: blocks placed at concrete addresses following each
+// function's layout order, with terminators materialised as branch/jump
+// instructions and alignment padding inserted where the alignment passes
+// requested it.
+//
+// The image is what the trace generator walks; instruction addresses drive
+// the instruction-cache model, so code size, layout and padding all have
+// real microarchitectural consequences.
+package codegen
+
+import (
+	"fmt"
+
+	"portcc/internal/ir"
+	"portcc/internal/isa"
+)
+
+// CodeBase is the address of the first function; data streams live far
+// above it (see internal/trace).
+const CodeBase uint32 = 0x8000
+
+// Program is the binary image of a module.
+type Program struct {
+	Module *ir.Module
+	Funcs  []*FuncImage
+	// TotalBytes is the overall code size including padding.
+	TotalBytes int
+	// PadBytes is the portion of TotalBytes that is alignment padding.
+	PadBytes int
+}
+
+// FuncImage is a placed function.
+type FuncImage struct {
+	ID     int
+	Name   string
+	Addr   uint32
+	Bytes  int
+	Blocks []*BlockImage
+	// ByID maps original IR block ID to its image.
+	ByID []*BlockImage
+}
+
+// BlockImage is a placed basic block: the body instructions followed by any
+// materialised control instructions.
+type BlockImage struct {
+	ID   int    // original IR block ID
+	Addr uint32 // address of the first instruction (after padding)
+	Pad  int    // alignment padding bytes preceding the block
+	// Insns is the body; control instructions are separate so the trace
+	// generator can locate them.
+	Insns []ir.Insn
+	// Branch materialisation:
+	Term ir.Term
+	// BranchAddr is the address of the conditional branch instruction
+	// (valid when Term.Kind == TermBranch).
+	BranchAddr uint32
+	// JumpAddr is the address of the trailing unconditional jump or ret,
+	// 0 if the block falls through in layout.
+	JumpAddr uint32
+	// BranchFallsTo holds the block ID reached by *not* redirecting at the
+	// branch: the layout successor. When the layout placed the taken
+	// target next, the branch is inverted and Taken/Fall roles swap at
+	// trace time.
+	Inverted bool
+	// HasJump reports whether a trailing jump was materialised.
+	HasJump bool
+	// IsRet reports whether the block ends the function.
+	IsRet bool
+	// Bytes is the total size of the block including control insns,
+	// excluding padding.
+	Bytes int
+}
+
+// End returns the address just past the block's last instruction.
+func (b *BlockImage) End() uint32 { return b.Addr + uint32(b.Bytes) }
+
+// Lower places every function of the module and returns the image.
+// Functions are placed in module order starting at CodeBase; blocks follow
+// each function's Layout (natural order when nil).
+func Lower(m *ir.Module) (*Program, error) {
+	p := &Program{Module: m}
+	addr := CodeBase
+	totalPad := 0
+	for _, f := range m.Funcs {
+		if f.Align > 0 {
+			pad := padTo(addr, uint32(f.Align))
+			addr += pad
+			totalPad += int(pad)
+		}
+		fi, err := lowerFunc(f, addr)
+		if err != nil {
+			return nil, err
+		}
+		for _, bi := range fi.Blocks {
+			totalPad += bi.Pad
+		}
+		p.Funcs = append(p.Funcs, fi)
+		addr += uint32(fi.Bytes)
+	}
+	p.TotalBytes = int(addr - CodeBase)
+	p.PadBytes = totalPad
+	return p, nil
+}
+
+func padTo(addr, align uint32) uint32 {
+	if align == 0 {
+		return 0
+	}
+	rem := addr & (align - 1)
+	if rem == 0 {
+		return 0
+	}
+	return align - rem
+}
+
+func lowerFunc(f *ir.Func, base uint32) (*FuncImage, error) {
+	layout := f.Layout
+	if layout == nil {
+		layout = make([]int, len(f.Blocks))
+		for i := range layout {
+			layout[i] = i
+		}
+	}
+	if len(layout) != len(f.Blocks) {
+		return nil, fmt.Errorf("codegen: func %s: layout has %d entries for %d blocks", f.Name, len(layout), len(f.Blocks))
+	}
+	if layout[0] != 0 {
+		return nil, fmt.Errorf("codegen: func %s: layout must start with the entry block", f.Name)
+	}
+	seen := make([]bool, len(f.Blocks))
+	for _, id := range layout {
+		if id < 0 || id >= len(f.Blocks) || seen[id] {
+			return nil, fmt.Errorf("codegen: func %s: layout is not a permutation", f.Name)
+		}
+		seen[id] = true
+	}
+
+	fi := &FuncImage{ID: f.ID, Name: f.Name, Addr: base}
+	fi.ByID = make([]*BlockImage, len(f.Blocks))
+	addr := base
+	for pos, id := range layout {
+		b := f.Blocks[id]
+		pad := padTo(addr, uint32(b.Align))
+		addr += pad
+		bi := &BlockImage{ID: id, Addr: addr, Pad: int(pad), Insns: b.Insns, Term: b.Term}
+		next := -1
+		if pos+1 < len(layout) {
+			next = layout[pos+1]
+		}
+		bytes := len(b.Insns) * isa.InsnBytes
+		switch b.Term.Kind {
+		case ir.TermRet:
+			bi.JumpAddr = addr + uint32(bytes)
+			bi.IsRet = true
+			bytes += isa.InsnBytes
+		case ir.TermFall:
+			if b.Term.Fall != next {
+				bi.JumpAddr = addr + uint32(bytes)
+				bi.HasJump = true
+				bytes += isa.InsnBytes
+			}
+		case ir.TermJump:
+			if b.Term.Taken != next {
+				bi.JumpAddr = addr + uint32(bytes)
+				bi.HasJump = true
+				bytes += isa.InsnBytes
+			}
+		case ir.TermBranch:
+			bi.BranchAddr = addr + uint32(bytes)
+			bytes += isa.InsnBytes
+			switch {
+			case b.Term.Fall == next:
+				// branch taken-target, fall through: nothing extra.
+			case b.Term.Taken == next:
+				// Invert the condition so the old taken target becomes
+				// the fall-through.
+				bi.Inverted = true
+			default:
+				// Branch plus unconditional jump to the fall target.
+				bi.JumpAddr = addr + uint32(bytes)
+				bi.HasJump = true
+				bytes += isa.InsnBytes
+			}
+		}
+		bi.Bytes = bytes
+		addr += uint32(bytes)
+		fi.Blocks = append(fi.Blocks, bi)
+		fi.ByID[id] = bi
+	}
+	fi.Bytes = int(addr - base)
+	return fi, nil
+}
+
+// FuncOf returns the function image with the given IR function index.
+func (p *Program) FuncOf(id int) *FuncImage {
+	for _, fi := range p.Funcs {
+		if fi.ID == id {
+			return fi
+		}
+	}
+	return nil
+}
+
+// Entry returns the image of the module's entry function.
+func (p *Program) Entry() *FuncImage { return p.FuncOf(p.Module.Entry) }

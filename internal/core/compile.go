@@ -1,0 +1,139 @@
+// Package core assembles the portable optimising compiler of the paper's
+// Figure 2: the pass pipeline driven by an optimisation configuration
+// (compile.go), and the deployment path that takes a program source, one
+// profile run's performance counters and a microarchitecture description
+// and produces a binary optimised by the learned model (compiler.go).
+package core
+
+import (
+	"portcc/internal/codegen"
+	"portcc/internal/ir"
+	"portcc/internal/opt"
+	"portcc/internal/passes"
+	"portcc/internal/regalloc"
+)
+
+// Compile clones the module and runs the full pipeline - pre-allocation
+// optimisation passes selected by cfg, register allocation, post-allocation
+// cleanups, placement - and returns the binary image.
+//
+// The pass order mirrors gcc 4.2: interprocedural (inlining) first, then
+// scalar and loop optimisation, scheduling, allocation, and post-reload
+// cleanup.
+func Compile(src *ir.Module, cfg *opt.Config) (*codegen.Program, error) {
+	m := src.Clone()
+
+	// Interprocedural passes.
+	if cfg.Flag(opt.FInlineFunctions) {
+		passes.Inline(m, passes.InlineParams{
+			MaxInsnsAuto:        cfg.Param(opt.PMaxInlineInsnsAuto),
+			LargeFunctionInsns:  cfg.Param(opt.PLargeFunctionInsns),
+			LargeFunctionGrowth: cfg.Param(opt.PLargeFunctionGrowth),
+			LargeUnitInsns:      cfg.Param(opt.PLargeUnitInsns),
+			UnitGrowth:          cfg.Param(opt.PInlineUnitGrowth),
+			CallCost:            cfg.Param(opt.PInlineCallCost),
+		})
+	}
+	if cfg.Flag(opt.FOptimizeSiblingCalls) {
+		passes.SiblingCalls(m)
+	}
+
+	stored := passes.StoredStreams(m)
+	loadMotion := cfg.Flag(opt.FGcse) && !cfg.Flag(opt.FNoGcseLm)
+
+	for _, f := range m.Funcs {
+		if f.Library {
+			continue
+		}
+		if cfg.Flag(opt.FTreeVrp) {
+			passes.VRP(f)
+		}
+		// Base local CSE is always on; the two flags extend its reach.
+		passes.LocalCSE(f, cfg.Flag(opt.FCseFollowJumps), cfg.Flag(opt.FCseSkipBlocks))
+		if cfg.Flag(opt.FTreePre) {
+			passes.PRE(f)
+		}
+		if cfg.Flag(opt.FGcse) {
+			for i := 0; i < cfg.Param(opt.PMaxGcsePasses); i++ {
+				if passes.GCSE(f) == 0 {
+					break
+				}
+			}
+			if cfg.Flag(opt.FGcseLas) {
+				passes.GCSELoadAfterStore(f)
+			}
+			if cfg.Flag(opt.FGcseSm) {
+				passes.StoreMotion(f)
+			}
+		}
+		// Loop-invariant motion is always on; load motion needs gcse-lm.
+		passes.LICM(f, loadMotion, stored)
+		if cfg.Flag(opt.FUnswitchLoops) {
+			passes.Unswitch(f)
+		}
+		if cfg.Flag(opt.FStrengthReduce) {
+			passes.StrengthReduce(f)
+		}
+		if cfg.Flag(opt.FUnrollLoops) {
+			passes.Unroll(f,
+				cfg.Param(opt.PMaxUnrollTimes),
+				cfg.Param(opt.PMaxUnrolledInsns))
+		}
+		if cfg.Flag(opt.FRerunLoopOpt) {
+			passes.LICM(f, loadMotion, stored)
+		}
+		if cfg.Flag(opt.FRerunCseAfterLoop) {
+			passes.LocalCSE(f, cfg.Flag(opt.FCseFollowJumps), cfg.Flag(opt.FCseSkipBlocks))
+		}
+		if cfg.Flag(opt.FExpensiveOptimizations) {
+			passes.LocalCSE(f, true, true)
+			if cfg.Flag(opt.FGcse) {
+				passes.GCSE(f)
+			}
+		}
+		if cfg.Flag(opt.FRegmove) {
+			passes.Regmove(f)
+		}
+		if cfg.Flag(opt.FThreadJumps) {
+			passes.ThreadJumps(f)
+		}
+		passes.DeadCode(f)
+		if cfg.Flag(opt.FScheduleInsns) {
+			passes.Schedule(f,
+				!cfg.Flag(opt.FNoSchedInterblock),
+				!cfg.Flag(opt.FNoSchedSpec))
+		}
+		if cfg.Flag(opt.FReorderBlocks) {
+			passes.ReorderBlocks(f)
+		}
+		passes.Align(f, passes.AlignFlags{
+			Functions: cfg.Flag(opt.FAlignFunctions),
+			Loops:     cfg.Flag(opt.FAlignLoops),
+			Jumps:     cfg.Flag(opt.FAlignJumps),
+			Labels:    cfg.Flag(opt.FAlignLabels),
+		})
+	}
+
+	// Register allocation and post-reload passes.
+	for _, f := range m.Funcs {
+		regalloc.Allocate(f, f.ID, regalloc.Options{
+			CallerSaves: !f.Library && cfg.Flag(opt.FCallerSaves),
+		})
+	}
+	for _, f := range m.Funcs {
+		if f.Library {
+			continue
+		}
+		if cfg.Flag(opt.FGcseAfterReload) {
+			passes.GCSEAfterReload(f)
+		}
+		if cfg.Flag(opt.FPeephole2) {
+			passes.Peephole2(f)
+		}
+		if cfg.Flag(opt.FCrossjumping) {
+			passes.CrossJump(f)
+		}
+	}
+
+	return codegen.Lower(m)
+}

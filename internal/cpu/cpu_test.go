@@ -1,0 +1,142 @@
+package cpu
+
+import (
+	"testing"
+
+	"portcc/internal/core"
+	"portcc/internal/opt"
+	"portcc/internal/prog"
+	"portcc/internal/trace"
+	"portcc/internal/uarch"
+)
+
+func traceFor(t *testing.T, name string) *trace.Trace {
+	t.Helper()
+	m := prog.MustBuild(name)
+	o3 := opt.O3()
+	p, err := core.Compile(m, &o3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Generate(p, trace.Config{Runs: 2, MaxInsns: 100000, Seed: 1})
+}
+
+func TestCounterConsistency(t *testing.T) {
+	tr := traceFor(t, "djpeg")
+	r := Simulate(tr, uarch.XScale())
+	if r.Insns != uint64(tr.Insns()) {
+		t.Errorf("Insns %d, trace has %d", r.Insns, tr.Insns())
+	}
+	if r.ICMisses > r.ICAccesses {
+		t.Error("more I-cache misses than accesses")
+	}
+	if r.DCMisses > r.DCAccesses {
+		t.Error("more D-cache misses than accesses")
+	}
+	if r.DCAccesses != tr.MemOps {
+		t.Errorf("D-cache accesses %d, trace has %d memory ops", r.DCAccesses, tr.MemOps)
+	}
+	if r.BTBLookups != tr.Branches {
+		t.Errorf("BTB lookups %d, trace has %d branches", r.BTBLookups, tr.Branches)
+	}
+	if r.Mispredicts > r.BTBLookups {
+		t.Error("more mispredicts than branches")
+	}
+	if r.Cycles < r.Insns {
+		t.Error("single-issue core cannot exceed IPC 1")
+	}
+	if r.EnergyNJ <= 0 || r.PowerMW() <= 0 {
+		t.Error("energy model must be positive")
+	}
+}
+
+func TestSmallerICacheNeverFewerMisses(t *testing.T) {
+	tr := traceFor(t, "gs")
+	big := uarch.XScale()
+	small := uarch.XScale()
+	small.IL1Size = 4 << 10
+	rb := Simulate(tr, big)
+	rs := Simulate(tr, small)
+	if rs.ICMisses < rb.ICMisses {
+		t.Errorf("4K cache has fewer misses (%d) than 32K (%d)", rs.ICMisses, rb.ICMisses)
+	}
+	if rs.ICAccesses != rb.ICAccesses {
+		t.Error("I-cache access count must not depend on cache size")
+	}
+}
+
+func TestDualIssueFaster(t *testing.T) {
+	tr := traceFor(t, "susan_s")
+	w1 := uarch.XScale()
+	w2 := uarch.XScale()
+	w2.Width = 2
+	r1 := Simulate(tr, w1)
+	r2 := Simulate(tr, w2)
+	if r2.Cycles >= r1.Cycles {
+		t.Errorf("dual issue not faster: %d vs %d cycles", r2.Cycles, r1.Cycles)
+	}
+	if r2.IPC() > 2.0 {
+		t.Errorf("IPC %f exceeds the issue width", r2.IPC())
+	}
+}
+
+func TestFrequencyScalingCosts(t *testing.T) {
+	tr := traceFor(t, "tiff2bw") // memory-streaming program
+	slow := uarch.XScale()
+	slow.FreqMHz = 200
+	fast := uarch.XScale()
+	fast.FreqMHz = 600
+	rs := Simulate(tr, slow)
+	rf := Simulate(tr, fast)
+	// More cycles at higher frequency (same DRAM nanoseconds)...
+	if rf.Cycles <= rs.Cycles {
+		t.Errorf("600MHz should cost more cycles than 200MHz: %d vs %d", rf.Cycles, rs.Cycles)
+	}
+	// ...but less wall-clock time.
+	if rf.TimeSeconds() >= rs.TimeSeconds() {
+		t.Error("600MHz should still be faster in seconds")
+	}
+}
+
+func TestStallDecomposition(t *testing.T) {
+	tr := traceFor(t, "patricia")
+	r := Simulate(tr, uarch.XScale())
+	issue := r.Cycles - r.FetchStalls - r.MemStalls - r.DepStalls - r.BranchStalls
+	if issue < r.Insns/2 {
+		t.Errorf("issue cycles %d implausibly low for %d instructions", issue, r.Insns)
+	}
+	if r.MemStalls == 0 {
+		t.Error("pointer-chasing program with no memory stalls")
+	}
+}
+
+func TestBTBConfigMatters(t *testing.T) {
+	// The BTB geometry must influence prediction behaviour. (Direction is
+	// not monotone: a BTB miss predicts not-taken, which can be right for
+	// rarely-taken branches, so a small BTB occasionally wins - the same
+	// non-monotonicity the paper's design space exhibits.)
+	tr := traceFor(t, "gs") // branchy program
+	big := uarch.XScale()
+	big.BTBSize = 2048
+	big.BTBAssoc = 8
+	small := uarch.XScale()
+	small.BTBSize = 128
+	small.BTBAssoc = 1
+	rb := Simulate(tr, big)
+	rs := Simulate(tr, small)
+	if rs.Mispredicts == rb.Mispredicts {
+		t.Error("BTB geometry has no effect on mispredictions")
+	}
+	if rb.Mispredicts == 0 || rs.Mispredicts == 0 {
+		t.Error("a branchy program must mispredict sometimes")
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	tr := traceFor(t, "crc")
+	a := Simulate(tr, uarch.XScale())
+	b := Simulate(tr, uarch.XScale())
+	if a != b {
+		t.Error("simulation is not deterministic")
+	}
+}

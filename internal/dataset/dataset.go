@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+
+	"portcc/internal/features"
+	"portcc/internal/ml"
+	"portcc/internal/opt"
+	"portcc/internal/uarch"
+)
+
+// GenConfig describes a dataset to generate.
+type GenConfig struct {
+	// Programs to include (prog.Names() when empty).
+	Programs []string
+	// NumArchs microarchitectures sampled uniformly (paper: 200).
+	NumArchs int
+	// NumOpts optimisation settings sampled uniformly (paper: 1000);
+	// the -O3 baseline is always included as index 0.
+	NumOpts int
+	// Extended selects the Section 7 space (frequency and issue width).
+	Extended bool
+	// Seed drives all sampling.
+	Seed int64
+	// Eval carries the workload-scaling parameters.
+	Eval EvalConfig
+}
+
+// Dataset is the generated training data.
+type Dataset struct {
+	Cfg      GenConfig
+	Programs []string
+	Archs    []uarch.Config
+	// Opts[0] is -O3; the rest are uniform random samples.
+	Opts []opt.Config
+	// Speedups[p][a][o] = cycles(O3)/cycles(Opts[o]) for program p on
+	// architecture a. Speedups[p][a][0] == 1 by construction.
+	Speedups [][][]float32
+	// Features[p][a] is x=(c,d) measured from the -O3 run (Section 3.4).
+	Features [][][]float64
+	// BaselineCycles[p][a] is cycles-per-run of the -O3 binary, the
+	// denominator for evaluating configurations outside the sample.
+	BaselineCycles [][]float64
+	// Runs[p] is the complete-run count used for program p's traces.
+	Runs []int
+}
+
+// Generate produces the dataset, parallelising across (program, setting)
+// pairs; each compiled trace is replayed over every architecture.
+func Generate(cfg GenConfig) (*Dataset, error) {
+	if len(cfg.Programs) == 0 {
+		return nil, fmt.Errorf("dataset: no programs")
+	}
+	if cfg.NumArchs <= 0 || cfg.NumOpts <= 0 {
+		return nil, fmt.Errorf("dataset: NumArchs and NumOpts must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	space := uarch.Space{Extended: cfg.Extended}
+	ds := &Dataset{
+		Cfg:      cfg,
+		Programs: append([]string(nil), cfg.Programs...),
+		Archs:    space.SampleN(rng, cfg.NumArchs),
+		Opts:     make([]opt.Config, 0, cfg.NumOpts+1),
+	}
+	ds.Opts = append(ds.Opts, opt.O3())
+	optRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	seen := map[string]bool{ds.Opts[0].Key(): true}
+	for len(ds.Opts) < cfg.NumOpts+1 {
+		c := opt.Random(optRng)
+		if k := c.Key(); !seen[k] {
+			seen[k] = true
+			ds.Opts = append(ds.Opts, c)
+		}
+	}
+
+	nP, nA, nO := len(ds.Programs), len(ds.Archs), len(ds.Opts)
+	ds.Speedups = make([][][]float32, nP)
+	ds.Features = make([][][]float64, nP)
+	ds.BaselineCycles = make([][]float64, nP)
+	ds.Runs = make([]int, nP)
+	for p := range ds.Speedups {
+		ds.Speedups[p] = make([][]float32, nA)
+		ds.Features[p] = make([][]float64, nA)
+		ds.BaselineCycles[p] = make([]float64, nA)
+		for a := range ds.Speedups[p] {
+			ds.Speedups[p][a] = make([]float32, nO)
+		}
+	}
+
+	// One evaluator per worker: the trace cache is tiny and the loop is
+	// ordered per program, so per-worker caches stay hot.
+	type job struct{ p int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := NewEvaluator(cfg.Eval)
+			for j := range jobs {
+				if err := generateProgram(ds, ev, j.p); err != nil && errs[w] == nil {
+					errs[w] = err
+				}
+			}
+		}(w)
+	}
+	for p := 0; p < nP; p++ {
+		jobs <- job{p: p}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// generateProgram fills one program's slice of the dataset: cycles of every
+// setting on every architecture, plus -O3 features.
+func generateProgram(ds *Dataset, ev *Evaluator, p int) error {
+	name := ds.Programs[p]
+	nA, nO := len(ds.Archs), len(ds.Opts)
+	baseline := make([]float64, nA)
+	for o := 0; o < nO; o++ {
+		c := ds.Opts[o]
+		tr, _, err := ev.Trace(name, &c)
+		if err != nil {
+			return fmt.Errorf("dataset: %s opt %d: %w", name, o, err)
+		}
+		runs := tr.Runs
+		if runs < 1 {
+			runs = 1
+		}
+		for a := 0; a < nA; a++ {
+			r := ev.simulate(tr, ds.Archs[a])
+			cyc := float64(r.Cycles) / float64(runs)
+			if o == 0 {
+				baseline[a] = cyc
+				ds.Speedups[p][a][0] = 1
+				ds.Features[p][a] = features.Vector(ds.Archs[a], &r)
+				ds.BaselineCycles[p][a] = cyc
+				ds.Runs[p] = runs
+			} else {
+				ds.Speedups[p][a][o] = float32(baseline[a] / cyc)
+			}
+		}
+	}
+	return nil
+}
+
+// Pair returns program and architecture counts.
+func (d *Dataset) Dims() (programs, archs, opts int) {
+	return len(d.Programs), len(d.Archs), len(d.Opts)
+}
+
+// BestSpeedup returns the maximum speedup over -O3 found by the sampled
+// settings for pair (p, a) - the paper's iterative-compilation "Best".
+func (d *Dataset) BestSpeedup(p, a int) (float64, int) {
+	best, bestO := float64(d.Speedups[p][a][0]), 0
+	for o, s := range d.Speedups[p][a] {
+		if float64(s) > best {
+			best, bestO = float64(s), o
+		}
+	}
+	return best, bestO
+}
+
+// TrainingPairs converts the dataset into fitted ML training pairs:
+// for each (program, architecture), the good set (top 5%) is selected and
+// the IID distribution fitted (Section 3.3.1).
+func (d *Dataset) TrainingPairs() ([]ml.TrainingPair, error) {
+	var pairs []ml.TrainingPair
+	for p := range d.Programs {
+		for a := range d.Archs {
+			sp := make([]float64, len(d.Opts))
+			for o, s := range d.Speedups[p][a] {
+				sp[o] = float64(s)
+			}
+			good := ml.TopGood(d.Opts, sp)
+			g, err := ml.FitGood(good)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: pair (%s, arch %d): %w", d.Programs[p], a, err)
+			}
+			pairs = append(pairs, ml.TrainingPair{
+				Prog: d.Programs[p],
+				Arch: a,
+				X:    d.Features[p][a],
+				G:    g,
+			})
+		}
+	}
+	return pairs, nil
+}
+
+// Save writes the dataset with gob encoding.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(d)
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var d Dataset
+	if err := gob.NewDecoder(f).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"path/filepath"
+	"testing"
+
+	"portcc/internal/opt"
+	"portcc/internal/uarch"
+)
+
+func tinyConfig() GenConfig {
+	return GenConfig{
+		Programs: []string{"crc", "bitcnts", "qsort"},
+		NumArchs: 3,
+		NumOpts:  10,
+		Seed:     21,
+		Eval:     EvalConfig{TargetInsns: 6000, Seed: 1},
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nP, nA, nO := ds.Dims()
+	if nP != 3 || nA != 3 || nO != 11 {
+		t.Fatalf("dims %d/%d/%d, want 3/3/11 (O3 + 10 random)", nP, nA, nO)
+	}
+	o3 := opt.O3()
+	if ds.Opts[0] != o3 {
+		t.Error("Opts[0] must be the -O3 baseline")
+	}
+	for p := 0; p < nP; p++ {
+		for a := 0; a < nA; a++ {
+			if ds.Speedups[p][a][0] != 1 {
+				t.Fatal("baseline speedup must be exactly 1")
+			}
+			if len(ds.Features[p][a]) != 19 {
+				t.Fatal("feature vectors must be 19-dimensional")
+			}
+			if ds.BaselineCycles[p][a] <= 0 {
+				t.Fatal("baseline cycles must be positive")
+			}
+			for _, s := range ds.Speedups[p][a] {
+				if s <= 0 || s > 20 {
+					t.Fatalf("implausible speedup %f", s)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range a.Speedups {
+		for ar := range a.Speedups[p] {
+			for o := range a.Speedups[p][ar] {
+				if a.Speedups[p][ar][o] != b.Speedups[p][ar][o] {
+					t.Fatalf("speedup (%d,%d,%d) differs across runs", p, ar, o)
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.gob")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nP, nA, nO := back.Dims()
+	if nP != 3 || nA != 3 || nO != 11 {
+		t.Fatal("round-trip changed dimensions")
+	}
+	if back.Speedups[1][2][3] != ds.Speedups[1][2][3] {
+		t.Fatal("round-trip changed data")
+	}
+	if back.Programs[0] != ds.Programs[0] {
+		t.Fatal("round-trip changed program list")
+	}
+}
+
+func TestTrainingPairs(t *testing.T) {
+	ds, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ds.TrainingPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 9 {
+		t.Fatalf("%d training pairs, want 3x3", len(pairs))
+	}
+	for _, p := range pairs {
+		sum := 0.0
+		for j := 0; j < 2; j++ {
+			sum += p.G.Theta[0][j]
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatal("fitted distribution not normalised")
+		}
+	}
+}
+
+func TestBestSpeedup(t *testing.T) {
+	ds, err := Generate(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, o := ds.BestSpeedup(0, 0)
+	if best < 1 {
+		t.Error("best must be at least the baseline (O3 is in the sample)")
+	}
+	if o < 0 || o >= len(ds.Opts) {
+		t.Error("best index out of range")
+	}
+}
+
+func TestEvaluatorCaching(t *testing.T) {
+	ev := NewEvaluator(EvalConfig{TargetInsns: 5000})
+	o3 := opt.O3()
+	if _, err := ev.Run("crc", &o3, uarch.XScale()); err != nil {
+		t.Fatal(err)
+	}
+	c1 := ev.Compiles
+	if _, err := ev.Run("crc", &o3, uarch.XScale()); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Compiles != c1 {
+		t.Error("second run recompiled despite the trace cache")
+	}
+	if ev.Simulations != 2 {
+		t.Errorf("%d simulations recorded, want 2", ev.Simulations)
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(GenConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Generate(GenConfig{Programs: []string{"nope"}, NumArchs: 1, NumOpts: 1}); err == nil {
+		t.Error("unknown program accepted")
+	}
+}

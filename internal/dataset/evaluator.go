@@ -1,0 +1,213 @@
+// Package dataset generates and stores the paper's training data: for a
+// sample of programs, microarchitectures and optimisation settings, the
+// speedup of every setting over -O3 plus the -O3 performance-counter
+// feature vectors (Section 3.2).
+//
+// The expensive pipeline stage is compile+trace, which is independent of
+// the microarchitecture: the Evaluator compiles once per (program,
+// setting) and replays the trace across architectures, making the paper's
+// 7-million-simulation protocol tractable.
+package dataset
+
+import (
+	"sync"
+
+	"portcc/internal/codegen"
+	"portcc/internal/core"
+	"portcc/internal/cpu"
+	"portcc/internal/ir"
+	"portcc/internal/opt"
+	"portcc/internal/prog"
+	"portcc/internal/trace"
+	"portcc/internal/uarch"
+)
+
+// EvalConfig fixes the workload-scaling parameters of an Evaluator.
+type EvalConfig struct {
+	// TargetInsns is the approximate dynamic trace length per simulation;
+	// the run count per program is derived from it (>=1 complete runs).
+	TargetInsns int
+	// MaxInsns is the hard safety cap per trace.
+	MaxInsns int
+	// Seed drives trace generation (branch outcomes, addresses).
+	Seed int64
+}
+
+// DefaultEvalConfig is used when fields are zero.
+var DefaultEvalConfig = EvalConfig{TargetInsns: 30_000, MaxInsns: 400_000, Seed: 1}
+
+func (c EvalConfig) withDefaults() EvalConfig {
+	d := DefaultEvalConfig
+	if c.TargetInsns > 0 {
+		d.TargetInsns = c.TargetInsns
+	}
+	if c.MaxInsns > 0 {
+		d.MaxInsns = c.MaxInsns
+	}
+	if c.Seed != 0 {
+		d.Seed = c.Seed
+	}
+	return d
+}
+
+// Evaluator compiles programs under optimisation settings and simulates
+// them on microarchitectures, caching compiled traces (which are
+// microarchitecture-independent). Safe for concurrent use.
+type Evaluator struct {
+	cfg EvalConfig
+
+	mu      sync.Mutex
+	modules map[string]*ir.Module
+	runs    map[string]int // complete runs per trace, fixed per program
+	traces  map[string]*cachedTrace
+	order   []string // LRU order of trace cache keys
+	// Compiles and Simulations count work done (for reporting).
+	Compiles    int
+	Simulations int
+}
+
+type cachedTrace struct {
+	tr   *trace.Trace
+	prog *codegen.Program
+}
+
+// traceCacheSize bounds the trace cache; generation loops are ordered so a
+// tiny cache suffices, keeping memory flat at paper scale.
+const traceCacheSize = 4
+
+// NewEvaluator builds an evaluator.
+func NewEvaluator(cfg EvalConfig) *Evaluator {
+	return &Evaluator{
+		cfg:     cfg.withDefaults(),
+		modules: map[string]*ir.Module{},
+		runs:    map[string]int{},
+		traces:  map[string]*cachedTrace{},
+	}
+}
+
+// module returns the pristine IR of a program, building it on first use.
+func (e *Evaluator) module(name string) (*ir.Module, error) {
+	if m, ok := e.modules[name]; ok {
+		return m, nil
+	}
+	m, err := prog.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	e.modules[name] = m
+	return m, nil
+}
+
+// runsFor determines the per-program complete-run count from a probe of
+// the -O3 binary, so every setting of the program does identical work.
+func (e *Evaluator) runsFor(name string, m *ir.Module) (int, error) {
+	if r, ok := e.runs[name]; ok {
+		return r, nil
+	}
+	o3 := opt.O3()
+	p, err := core.Compile(m, &o3)
+	if err != nil {
+		return 0, err
+	}
+	probe := trace.Generate(p, trace.Config{Runs: 1, MaxInsns: e.cfg.MaxInsns, Seed: e.cfg.Seed})
+	perRun := probe.Insns()
+	if perRun < 1 {
+		perRun = 1
+	}
+	r := e.cfg.TargetInsns / perRun
+	if r < 1 {
+		r = 1
+	}
+	if r > 8 {
+		r = 8
+	}
+	e.runs[name] = r
+	return r, nil
+}
+
+// Trace returns the dynamic trace of the program compiled under c, cached.
+func (e *Evaluator) Trace(name string, c *opt.Config) (*trace.Trace, *codegen.Program, error) {
+	key := name + "/" + c.Key()
+	e.mu.Lock()
+	if ct, ok := e.traces[key]; ok {
+		e.mu.Unlock()
+		return ct.tr, ct.prog, nil
+	}
+	m, err := e.module(name)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, nil, err
+	}
+	runs, err := e.runsFor(name, m)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, nil, err
+	}
+	e.mu.Unlock()
+
+	// Compile and trace outside the lock (the expensive part).
+	p, err := core.Compile(m, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := trace.Generate(p, trace.Config{Runs: runs, MaxInsns: e.cfg.MaxInsns, Seed: e.cfg.Seed})
+
+	e.mu.Lock()
+	e.Compiles++
+	if _, ok := e.traces[key]; !ok {
+		e.traces[key] = &cachedTrace{tr: tr, prog: p}
+		e.order = append(e.order, key)
+		for len(e.order) > traceCacheSize {
+			old := e.order[0]
+			e.order = e.order[1:]
+			delete(e.traces, old)
+		}
+	}
+	e.mu.Unlock()
+	return tr, p, nil
+}
+
+// SimulateTrace replays an already-generated trace on an architecture.
+func (e *Evaluator) SimulateTrace(tr *trace.Trace, a uarch.Config) cpu.Result {
+	return e.simulate(tr, a)
+}
+
+// simulate replays a trace on an architecture, counting the simulation.
+func (e *Evaluator) simulate(tr *trace.Trace, a uarch.Config) cpu.Result {
+	r := cpu.Simulate(tr, a)
+	e.mu.Lock()
+	e.Simulations++
+	e.mu.Unlock()
+	return r
+}
+
+// Run simulates program name compiled under c on architecture a.
+func (e *Evaluator) Run(name string, c *opt.Config, a uarch.Config) (cpu.Result, error) {
+	tr, _, err := e.Trace(name, c)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	r := cpu.Simulate(tr, a)
+	e.mu.Lock()
+	e.Simulations++
+	e.mu.Unlock()
+	return r, nil
+}
+
+// CyclesPerRun returns cycles normalised by complete program runs, the
+// comparable work-time metric.
+func (e *Evaluator) CyclesPerRun(name string, c *opt.Config, a uarch.Config) (float64, error) {
+	tr, _, err := e.Trace(name, c)
+	if err != nil {
+		return 0, err
+	}
+	r := cpu.Simulate(tr, a)
+	e.mu.Lock()
+	e.Simulations++
+	e.mu.Unlock()
+	runs := tr.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	return float64(r.Cycles) / float64(runs), nil
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"portcc/internal/dataset"
+	"portcc/internal/opt"
+)
+
+// testDS caches one tiny dataset for the whole test file.
+var testDS *dataset.Dataset
+
+func getDS(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	if testDS == nil {
+		s := Scale{Name: "test", Programs: []string{
+			"rijndael_e", "search", "qsort", "crc", "bitcnts", "madplay",
+		}, NumArchs: 4, NumOpts: 16, TargetInsns: 6000, Seed: 3}
+		ds, err := s.Dataset(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testDS = ds
+	}
+	return testDS
+}
+
+func TestStaticTables(t *testing.T) {
+	t2 := Table2()
+	if !strings.Contains(t2, "288000") && !strings.Contains(t2, "288,000") {
+		t.Error("Table 2 must state the 288,000-configuration space")
+	}
+	f3 := Figure3()
+	if !strings.Contains(f3, "funroll_loops") || !strings.Contains(f3, "param_max_gcse_passes") {
+		t.Error("Figure 3 must list the flags and parameters")
+	}
+}
+
+func TestTable1LiveCounters(t *testing.T) {
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, counter := range []string{"IPC", "icache_miss_rate", "MAC_usg"} {
+		if !strings.Contains(out, counter) {
+			t.Errorf("Table 1 missing counter %s", counter)
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	ds := getDS(t)
+	f4 := Figure4(ds)
+	if len(f4.Boxes) != len(ds.Programs) {
+		t.Fatal("one box per program expected")
+	}
+	for i, b := range f4.Boxes {
+		if b.Min > b.Median || b.Median > b.Max {
+			t.Errorf("box %d not ordered: %+v", i, b)
+		}
+		if b.Max < 1 {
+			t.Errorf("%s: best speedup below 1 is impossible (O3 is sampled)", ds.Programs[i])
+		}
+	}
+	if f4.Average < 1 {
+		t.Error("average best speedup must be at least 1")
+	}
+	if f4.WrongAvg > 1 {
+		t.Error("picking the worst settings must not look like a speedup")
+	}
+	if f4.WrongWorst > f4.WrongAvg {
+		t.Error("worst case cannot beat the average")
+	}
+	if r := f4.Render(); !strings.Contains(r, "AVERAGE") {
+		t.Error("render missing the average line")
+	}
+}
+
+func TestPredictionsAndFigures(t *testing.T) {
+	ds := getDS(t)
+	pr, err := Predict(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nP, nA, _ := ds.Dims()
+	for p := 0; p < nP; p++ {
+		for a := 0; a < nA; a++ {
+			if pr.Speedup[p][a] <= 0 {
+				t.Fatalf("non-positive predicted speedup at (%d,%d)", p, a)
+			}
+			if pr.Best[p][a] < 1 {
+				t.Fatalf("best below baseline at (%d,%d)", p, a)
+			}
+		}
+	}
+
+	f5 := Figure5(pr)
+	if f5.Correlation < -1 || f5.Correlation > 1 {
+		t.Error("correlation out of bounds")
+	}
+	if f5.MaxBest < f5.MaxPredicted-1e-9 && f5.MaxPredicted > f5.MaxBest*1.5 {
+		t.Error("predicted surface peak wildly exceeds the best surface")
+	}
+
+	f6 := Figure6(pr)
+	if len(f6.Model) != nP {
+		t.Fatal("Figure 6 must have one bar per program")
+	}
+	for i := range f6.Model {
+		if f6.Model[i] > f6.Best[i]+0.25 {
+			t.Errorf("%s: model %f far exceeds best %f", f6.Programs[i], f6.Model[i], f6.Best[i])
+		}
+	}
+	if f6.BestAvg < f6.ModelAvg-1e-9 && f6.ModelAvg > f6.BestAvg {
+		t.Error("model average cannot exceed the iterative-compilation bound meaningfully")
+	}
+
+	f7 := Figure7(pr)
+	if len(f7.Best) != nA {
+		t.Fatal("Figure 7 must have one point per architecture")
+	}
+	for i := 1; i < len(f7.Best); i++ {
+		if f7.Best[i] < f7.Best[i-1]-1e-9 {
+			t.Error("Figure 7 best series must be sorted ascending")
+		}
+	}
+
+	it := IterationsToMatch(pr)
+	if it.Pairs != nP*nA {
+		t.Error("iterations-to-match must cover every pair")
+	}
+	if it.MeanEvals < 1 {
+		t.Error("mean evaluations below 1 impossible")
+	}
+}
+
+func TestHintonDiagrams(t *testing.T) {
+	ds := getDS(t)
+	h8 := Figure8(ds)
+	if len(h8.Cells) != opt.NumDims || len(h8.Cells[0]) != len(ds.Programs) {
+		t.Fatal("Figure 8 dimensions wrong")
+	}
+	h9 := Figure9(ds)
+	if len(h9.Cells) != opt.NumDims || len(h9.Cells[0]) != 19 {
+		t.Fatal("Figure 9 dimensions wrong")
+	}
+	for _, h := range []([][]float64){h8.Cells, h9.Cells} {
+		for _, row := range h {
+			for _, v := range row {
+				if v < 0 || v > 1 {
+					t.Fatal("normalised MI out of [0,1]")
+				}
+			}
+		}
+	}
+	if h8.Render() == "" || h9.Render() == "" {
+		t.Error("empty Hinton rendering")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	ds := getDS(t)
+	f1, err := Figure1(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Programs) != 3 || len(f1.Archs) != 3 || len(f1.Passes) != 5 {
+		t.Fatal("Figure 1 must be 3 programs x 3 archs x 5 passes")
+	}
+	r := f1.Render()
+	if !strings.Contains(r, "rijndael_e") {
+		t.Error("Figure 1 render missing programs")
+	}
+}
+
+func TestAblationKInsensitivity(t *testing.T) {
+	// The Section 3.3.2 claim: performance is not sensitive to K near 7.
+	ds := getDS(t)
+	ab, err := Ablation(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.KAvg) != len(ab.Ks) || len(ab.BetaAv) != len(ab.Betas) {
+		t.Fatal("sweep incomplete")
+	}
+	// K=5..9 must stay within a narrow band of K=7.
+	var k5, k7, k9 float64
+	for i, k := range ab.Ks {
+		switch k {
+		case 5:
+			k5 = ab.KAvg[i]
+		case 7:
+			k7 = ab.KAvg[i]
+		case 9:
+			k9 = ab.KAvg[i]
+		}
+	}
+	const band = 0.08
+	if k5 < k7-band || k5 > k7+band || k9 < k7-band || k9 > k7+band {
+		t.Errorf("K sensitivity too strong: K5=%.3f K7=%.3f K9=%.3f", k5, k7, k9)
+	}
+	if ab.Render() == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"portcc/internal/dataset"
+	"portcc/internal/features"
+	"portcc/internal/opt"
+	"portcc/internal/stats"
+)
+
+// speedupBins discretises continuous speedups for mutual information.
+const speedupBins = 8
+
+// Figure8 computes the Hinton diagram of Figure 8: for every program, the
+// normalised mutual information between each optimisation dimension's
+// setting and the achieved speedup, over all (architecture, setting)
+// samples. Large cells mark the passes most likely to affect that
+// program's performance.
+func Figure8(ds *dataset.Dataset) *stats.Hinton {
+	nP, nA, nO := ds.Dims()
+	h := &stats.Hinton{ColLabels: ds.Programs}
+	for l := 0; l < opt.NumDims; l++ {
+		h.RowLabels = append(h.RowLabels, opt.DimName(l))
+	}
+	// Precompute per-dimension values of each sampled setting.
+	vals := make([][]int, opt.NumDims)
+	for l := range vals {
+		vals[l] = make([]int, nO)
+		for o := range ds.Opts {
+			vals[l][o] = ds.Opts[o].Value(l)
+		}
+	}
+	h.Cells = make([][]float64, opt.NumDims)
+	for l := range h.Cells {
+		h.Cells[l] = make([]float64, nP)
+	}
+	for p := 0; p < nP; p++ {
+		// Samples: all (arch, setting) combinations for this program.
+		sp := make([]float64, 0, nA*nO)
+		dims := make([][]int, opt.NumDims)
+		for l := range dims {
+			dims[l] = make([]int, 0, nA*nO)
+		}
+		for a := 0; a < nA; a++ {
+			for o := 0; o < nO; o++ {
+				sp = append(sp, float64(ds.Speedups[p][a][o]))
+				for l := 0; l < opt.NumDims; l++ {
+					dims[l] = append(dims[l], vals[l][o])
+				}
+			}
+		}
+		spBinned := stats.Quantize(sp, speedupBins)
+		for l := 0; l < opt.NumDims; l++ {
+			h.Cells[l][p] = stats.NormalizedMI(dims[l], spBinned)
+		}
+	}
+	return h
+}
+
+// Figure9 computes the Hinton diagram of Figure 9: the normalised mutual
+// information between each feature (8 architecture descriptors then 11
+// performance counters) and the best setting of each optimisation
+// dimension, over all (program, architecture) pairs. Large cells mark the
+// features that are informative for predicting a pass.
+func Figure9(ds *dataset.Dataset) *stats.Hinton {
+	nP, nA, _ := ds.Dims()
+	h := &stats.Hinton{ColLabels: features.Names()}
+	for l := 0; l < opt.NumDims; l++ {
+		h.RowLabels = append(h.RowLabels, opt.DimName(l))
+	}
+	nF := features.Dim
+	// Collect per-pair feature values and best-setting dimension values.
+	featVals := make([][]float64, nF)
+	for f := range featVals {
+		featVals[f] = make([]float64, 0, nP*nA)
+	}
+	bestVals := make([][]int, opt.NumDims)
+	for l := range bestVals {
+		bestVals[l] = make([]int, 0, nP*nA)
+	}
+	for p := 0; p < nP; p++ {
+		for a := 0; a < nA; a++ {
+			x := ds.Features[p][a]
+			for f := 0; f < nF; f++ {
+				featVals[f] = append(featVals[f], x[f])
+			}
+			_, bestO := ds.BestSpeedup(p, a)
+			for l := 0; l < opt.NumDims; l++ {
+				bestVals[l] = append(bestVals[l], ds.Opts[bestO].Value(l))
+			}
+		}
+	}
+	featBinned := make([][]int, nF)
+	for f := 0; f < nF; f++ {
+		featBinned[f] = stats.Quantize(featVals[f], speedupBins)
+	}
+	h.Cells = make([][]float64, opt.NumDims)
+	for l := 0; l < opt.NumDims; l++ {
+		h.Cells[l] = make([]float64, nF)
+		for f := 0; f < nF; f++ {
+			h.Cells[l][f] = stats.NormalizedMI(featBinned[f], bestVals[l])
+		}
+	}
+	return h
+}

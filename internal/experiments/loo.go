@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"portcc/internal/dataset"
+	"portcc/internal/ml"
+	"portcc/internal/opt"
+)
+
+// Predictions holds the leave-one-out model evaluation over a dataset:
+// for every (program, microarchitecture) pair, the configuration the model
+// predicts when trained without that program and without that
+// microarchitecture (Section 5.1.1), and its measured speedup over -O3.
+type Predictions struct {
+	DS *dataset.Dataset
+	// Config[p][a] is the predicted-best setting.
+	Config [][]opt.Config
+	// Speedup[p][a] is its measured speedup over -O3.
+	Speedup [][]float64
+	// Best[p][a] caches the dataset's iterative-compilation upper bound.
+	Best [][]float64
+}
+
+// Predict runs the full leave-one-out protocol: fit training pairs, and
+// for each held-out pair predict, compile, and measure. Predicted
+// configurations are deduplicated per program so each distinct binary is
+// compiled and traced once.
+func Predict(ds *dataset.Dataset) (*Predictions, error) {
+	return PredictWith(ds, 0, 0)
+}
+
+// PredictWith is Predict with explicit KNN hyper-parameters (zero values
+// select the paper's K=7 and beta=1), for the ablation experiments.
+func PredictWith(ds *dataset.Dataset, k int, beta float64) (*Predictions, error) {
+	pairs, err := ds.TrainingPairs()
+	if err != nil {
+		return nil, err
+	}
+	model := ml.Train(pairs)
+	model.KNeighbours = k
+	model.BetaValue = beta
+	nP, nA, _ := ds.Dims()
+	pr := &Predictions{
+		DS:      ds,
+		Config:  make([][]opt.Config, nP),
+		Speedup: make([][]float64, nP),
+		Best:    make([][]float64, nP),
+	}
+	ev := dataset.NewEvaluator(ds.Cfg.Eval)
+	for p := 0; p < nP; p++ {
+		pr.Config[p] = make([]opt.Config, nA)
+		pr.Speedup[p] = make([]float64, nA)
+		pr.Best[p] = make([]float64, nA)
+		// Predict for every architecture, grouping identical
+		// configurations.
+		groups := map[string][]int{}
+		var orderKeys []string
+		for a := 0; a < nA; a++ {
+			cfg := model.Predict(ds.Features[p][a], ml.Exclude{Prog: ds.Programs[p], Arch: a})
+			pr.Config[p][a] = cfg
+			k := cfg.Key()
+			if _, ok := groups[k]; !ok {
+				orderKeys = append(orderKeys, k)
+			}
+			groups[k] = append(groups[k], a)
+			pr.Best[p][a], _ = ds.BestSpeedup(p, a)
+		}
+		for _, k := range orderKeys {
+			archs := groups[k]
+			cfg, err := opt.ParseKey(k)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bad config key: %w", err)
+			}
+			tr, _, err := ev.Trace(ds.Programs[p], &cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: evaluating prediction for %s: %w", ds.Programs[p], err)
+			}
+			runs := tr.Runs
+			if runs < 1 {
+				runs = 1
+			}
+			for _, a := range archs {
+				r := ev.SimulateTrace(tr, ds.Archs[a])
+				cyc := float64(r.Cycles) / float64(runs)
+				pr.Speedup[p][a] = ds.BaselineCycles[p][a] / cyc
+			}
+		}
+	}
+	return pr, nil
+}

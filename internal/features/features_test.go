@@ -1,0 +1,110 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"portcc/internal/cpu"
+	"portcc/internal/uarch"
+)
+
+type resultAlias = cpu.Result
+
+func TestDimensions(t *testing.T) {
+	if Dim != 19 {
+		t.Errorf("feature dimensionality %d, paper uses 8+11 = 19", Dim)
+	}
+	if len(Names()) != Dim {
+		t.Error("name list length mismatch")
+	}
+	if len(CounterNames()) != NumCounters {
+		t.Error("counter name list length mismatch")
+	}
+}
+
+func TestNormalizerProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var vecs [][]float64
+		for i := 0; i < 30; i++ {
+			v := make([]float64, 4)
+			for j := range v {
+				v[j] = rng.NormFloat64()*5 + 10
+			}
+			vecs = append(vecs, v)
+		}
+		n := NewNormalizer(vecs)
+		// z-scored training set: mean ~0, std ~1 per dimension.
+		sums := make([]float64, 4)
+		sq := make([]float64, 4)
+		for _, v := range vecs {
+			z := n.Apply(v)
+			for j, x := range z {
+				sums[j] += x
+				sq[j] += x * x
+			}
+		}
+		for j := 0; j < 4; j++ {
+			mean := sums[j] / 30
+			variance := sq[j]/30 - mean*mean
+			if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerConstantDim(t *testing.T) {
+	n := NewNormalizer([][]float64{{1, 5}, {2, 5}, {3, 5}})
+	z := n.Apply([]float64{2, 5})
+	if math.IsNaN(z[1]) || math.IsInf(z[1], 0) {
+		t.Error("constant dimension produced NaN/Inf")
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		b := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		c := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		dab, dba := Distance(a, b), Distance(b, a)
+		if math.Abs(dab-dba) > 1e-12 {
+			return false // symmetry
+		}
+		if Distance(a, a) != 0 {
+			return false // identity
+		}
+		// Triangle inequality.
+		return Distance(a, c) <= dab+Distance(b, c)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorLayout(t *testing.T) {
+	xs := uarch.XScale()
+	// A zero result still yields a full-length vector with the
+	// descriptors in front.
+	var r = zeroResult()
+	v := Vector(xs, &r)
+	if len(v) != Dim {
+		t.Fatalf("vector length %d, want %d", len(v), Dim)
+	}
+	d := xs.Descriptors()
+	for i := range d {
+		if v[i] != d[i] {
+			t.Error("descriptors must come first in the feature vector")
+		}
+	}
+}
+
+// zeroResult builds an empty simulation result for layout tests.
+func zeroResult() (r resultAlias) { return }

@@ -1,0 +1,39 @@
+package ir
+
+// Clone returns a deep copy of the module. The optimisation pipeline
+// mutates modules in place, so the dataset generator clones the pristine
+// program once per optimisation setting.
+func (m *Module) Clone() *Module {
+	out := &Module{Name: m.Name, Entry: m.Entry, Funcs: make([]*Func, len(m.Funcs))}
+	for i, f := range m.Funcs {
+		out.Funcs[i] = f.Clone()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the function with analysis caches dropped.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:      f.Name,
+		ID:        f.ID,
+		NextReg:   f.NextReg,
+		Library:   f.Library,
+		FrameSize: f.FrameSize,
+		Align:     f.Align,
+		Blocks:    make([]*Block, len(f.Blocks)),
+	}
+	if f.Layout != nil {
+		nf.Layout = append([]int(nil), f.Layout...)
+	}
+	for i, b := range f.Blocks {
+		nb := &Block{
+			ID:    b.ID,
+			Term:  b.Term,
+			Align: b.Align,
+			Insns: make([]Insn, len(b.Insns)),
+		}
+		copy(nb.Insns, b.Insns)
+		nf.Blocks[i] = nb
+	}
+	return nf
+}

@@ -1,0 +1,226 @@
+package ir
+
+import (
+	"testing"
+
+	"portcc/internal/isa"
+)
+
+// diamond builds the classic if/else diamond: b0 -> {b1, b2} -> b3.
+func diamond() *Func {
+	f := &Func{Name: "diamond", NextReg: 10}
+	f.Blocks = []*Block{
+		{ID: 0, Term: Term{Kind: TermBranch, Taken: 1, Fall: 2, Prob: 0.5}},
+		{ID: 1, Term: Term{Kind: TermJump, Taken: 3}},
+		{ID: 2, Term: Term{Kind: TermFall, Fall: 3}},
+		{ID: 3, Term: Term{Kind: TermRet}},
+	}
+	return f
+}
+
+// loopFunc builds entry -> preheader -> header <-> latch -> exit with a
+// counted back edge.
+func loopFunc() *Func {
+	f := &Func{Name: "loop", NextReg: 10}
+	f.Blocks = []*Block{
+		{ID: 0, Term: Term{Kind: TermFall, Fall: 1}},
+		{ID: 1, Term: Term{Kind: TermFall, Fall: 2}},                       // preheader
+		{ID: 2, Term: Term{Kind: TermFall, Fall: 3}},                       // header
+		{ID: 3, Term: Term{Kind: TermBranch, Taken: 2, Fall: 4, Trip: 10}}, // latch
+		{ID: 4, Term: Term{Kind: TermRet}},
+	}
+	return f
+}
+
+func TestDominators(t *testing.T) {
+	f := diamond()
+	if !f.Dominates(0, 3) {
+		t.Error("entry must dominate the join")
+	}
+	if f.Dominates(1, 3) || f.Dominates(2, 3) {
+		t.Error("neither arm dominates the join")
+	}
+	if f.Idom(3) != 0 {
+		t.Errorf("idom(join) = %d, want 0", f.Idom(3))
+	}
+	if f.Idom(1) != 0 || f.Idom(2) != 0 {
+		t.Error("arms are immediately dominated by the entry")
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	f := diamond()
+	rpo := f.RPO()
+	if len(rpo) != 4 || rpo[0] != 0 {
+		t.Fatalf("rpo = %v", rpo)
+	}
+	// Join must come after both arms.
+	pos := map[int]int{}
+	for i, id := range rpo {
+		pos[id] = i
+	}
+	if pos[3] < pos[1] || pos[3] < pos[2] {
+		t.Errorf("join before its predecessors in RPO: %v", rpo)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	f := loopFunc()
+	loops := f.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 2 || l.Latch != 3 {
+		t.Errorf("loop header/latch = %d/%d, want 2/3", l.Header, l.Latch)
+	}
+	if l.Preheader != 1 {
+		t.Errorf("preheader = %d, want 1", l.Preheader)
+	}
+	if !l.Contains(2) || !l.Contains(3) || l.Contains(4) {
+		t.Error("loop body must be exactly {header, latch}")
+	}
+	if f.Blocks[2].LoopDepth != 1 || f.Blocks[4].LoopDepth != 0 {
+		t.Error("loop depth annotation wrong")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// entry -> oh(1) -> ih(2) <-> il(3); il exits to ol(4) which backs to oh; exit 5.
+	f := &Func{Name: "nested", NextReg: 4}
+	f.Blocks = []*Block{
+		{ID: 0, Term: Term{Kind: TermFall, Fall: 1}},
+		{ID: 1, Term: Term{Kind: TermFall, Fall: 2}},                      // outer header
+		{ID: 2, Term: Term{Kind: TermFall, Fall: 3}},                      // inner header
+		{ID: 3, Term: Term{Kind: TermBranch, Taken: 2, Fall: 4, Trip: 4}}, // inner latch
+		{ID: 4, Term: Term{Kind: TermBranch, Taken: 1, Fall: 5, Trip: 8}}, // outer latch
+		{ID: 5, Term: Term{Kind: TermRet}},
+	}
+	loops := f.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	var inner, outer *Loop
+	for _, l := range loops {
+		if l.Header == 2 {
+			inner = l
+		}
+		if l.Header == 1 {
+			outer = l
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatal("missing inner or outer loop")
+	}
+	if inner.Depth != 2 || outer.Depth != 1 {
+		t.Errorf("depths inner=%d outer=%d, want 2/1", inner.Depth, outer.Depth)
+	}
+	if f.Blocks[3].LoopDepth != 2 {
+		t.Errorf("inner latch depth = %d, want 2", f.Blocks[3].LoopDepth)
+	}
+}
+
+func TestUnreachableExcludedFromRPO(t *testing.T) {
+	f := diamond()
+	f.Blocks = append(f.Blocks, &Block{ID: 4, Term: Term{Kind: TermRet}})
+	f.Invalidate()
+	if f.Reachable(4) {
+		t.Error("block 4 should be unreachable")
+	}
+	if len(f.RPO()) != 4 {
+		t.Errorf("rpo should exclude unreachable blocks: %v", f.RPO())
+	}
+}
+
+func TestVerifyCatchesBadTargets(t *testing.T) {
+	m := &Module{Name: "bad", Funcs: []*Func{diamond()}}
+	m.Funcs[0].ID = 0
+	m.Funcs[0].Blocks[1].Term.Taken = 99
+	if err := m.Verify(); err == nil {
+		t.Error("out-of-range branch target not caught")
+	}
+}
+
+func TestVerifyCatchesDoubleDef(t *testing.T) {
+	f := diamond()
+	f.Blocks[0].Insns = []Insn{
+		{Op: isa.OpALU, Def: 1},
+		{Op: isa.OpALU, Def: 1},
+	}
+	m := &Module{Name: "dd", Funcs: []*Func{f}}
+	if err := m.Verify(); err == nil {
+		t.Error("double definition without FlagMerge not caught")
+	}
+	// With FlagMerge it is legal.
+	f.Blocks[0].Insns[0].Flags |= FlagMerge
+	f.Blocks[0].Insns[1].Flags |= FlagMerge
+	if err := m.Verify(); err != nil {
+		t.Errorf("merge-flagged redefinition rejected: %v", err)
+	}
+}
+
+func TestVerifyCatchesRecursion(t *testing.T) {
+	a := &Func{Name: "a", ID: 0, NextReg: 1, Blocks: []*Block{{ID: 0,
+		Insns: []Insn{{Op: isa.OpCall, Callee: 1}}, Term: Term{Kind: TermRet}}}}
+	b := &Func{Name: "b", ID: 1, NextReg: 1, Blocks: []*Block{{ID: 0,
+		Insns: []Insn{{Op: isa.OpCall, Callee: 0}}, Term: Term{Kind: TermRet}}}}
+	m := &Module{Name: "rec", Funcs: []*Func{a, b}}
+	if err := m.Verify(); err == nil {
+		t.Error("mutual recursion not caught")
+	}
+}
+
+func TestVerifyCatchesMemViolations(t *testing.T) {
+	f := diamond()
+	f.Blocks[0].Insns = []Insn{{Op: isa.OpLoad, Def: 1}} // no stream
+	m := &Module{Name: "mem", Funcs: []*Func{f}}
+	if err := m.Verify(); err == nil {
+		t.Error("load without stream not caught")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := loopFunc()
+	f.Blocks[2].Insns = []Insn{{Op: isa.OpALU, Def: 1, Imm: 42}}
+	m := &Module{Name: "c", Funcs: []*Func{f}}
+	c := m.Clone()
+	c.Funcs[0].Blocks[2].Insns[0].Imm = 99
+	c.Funcs[0].Blocks[3].Term.Trip = 77
+	if f.Blocks[2].Insns[0].Imm != 42 {
+		t.Error("clone shares instruction storage with the original")
+	}
+	if f.Blocks[3].Term.Trip != 10 {
+		t.Error("clone shares terminator state with the original")
+	}
+}
+
+func TestSuccsAndSize(t *testing.T) {
+	f := diamond()
+	if n := f.Blocks[0].NumSuccs(); n != 2 {
+		t.Errorf("branch has %d succs, want 2", n)
+	}
+	if n := f.Blocks[3].NumSuccs(); n != 0 {
+		t.Errorf("ret has %d succs, want 0", n)
+	}
+	// Size counts terminator control instructions.
+	want := 0 + 1 /*branch*/ + 1 /*jump*/ + 0 /*fall*/ + 1 /*ret*/
+	if got := f.Size(); got != want {
+		t.Errorf("Size() = %d, want %d", got, want)
+	}
+}
+
+func TestInsnString(t *testing.T) {
+	in := Insn{Op: isa.OpLoad, Def: 3, Mem: MemRef{Stream: 2, Kind: MemSeq, WSet: 64, Stride: 4}}
+	if s := in.String(); s == "" {
+		t.Error("empty instruction dump")
+	}
+	if (&Insn{Op: isa.OpALU}).IsPure() != true {
+		t.Error("ALU must be pure")
+	}
+	if (&Insn{Op: isa.OpLoad, Mem: MemRef{Kind: MemSeq}}).IsPure() {
+		t.Error("streaming load must not be pure")
+	}
+	if !(&Insn{Op: isa.OpLoad, Mem: MemRef{Kind: MemTable, ReadOnly: true}}).IsPure() {
+		t.Error("read-only table load is pure")
+	}
+}

@@ -1,0 +1,179 @@
+package ir
+
+import (
+	"fmt"
+
+	"portcc/internal/isa"
+)
+
+// Verify checks the structural invariants of the module:
+//
+//   - terminator targets are valid block IDs;
+//   - the entry function index is valid;
+//   - call targets are valid function indices and the call graph is acyclic
+//     (the trace generator requires bounded call stacks);
+//   - registers obey the mostly-single-definition convention: a register is
+//     defined at most once unless every definition carries FlagMerge;
+//   - memory instructions carry a memory reference, non-memory ones do not;
+//   - counted latches (Trip > 0) are conditional branches.
+//
+// Verify is used by tests and by the program builder; passes are expected
+// to preserve these invariants.
+func (m *Module) Verify() error {
+	if m.Entry < 0 || m.Entry >= len(m.Funcs) {
+		return fmt.Errorf("ir: module %q: entry index %d out of range", m.Name, m.Entry)
+	}
+	for _, f := range m.Funcs {
+		if err := f.verify(m); err != nil {
+			return fmt.Errorf("ir: module %q: %w", m.Name, err)
+		}
+	}
+	if cyc := m.callCycle(); cyc != "" {
+		return fmt.Errorf("ir: module %q: recursive call graph via %s", m.Name, cyc)
+	}
+	return nil
+}
+
+func (f *Func) verify(m *Module) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("func %s: no blocks", f.Name)
+	}
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("func %s: block at index %d has ID %d", f.Name, i, b.ID)
+		}
+		if err := f.verifyTerm(b); err != nil {
+			return err
+		}
+		for j := range b.Insns {
+			if err := f.verifyInsn(m, b, &b.Insns[j]); err != nil {
+				return fmt.Errorf("func %s b%d insn %d: %w", f.Name, b.ID, j, err)
+			}
+		}
+	}
+	// Single-definition convention.
+	defs := map[Reg]int{}
+	merge := map[Reg]bool{}
+	for _, b := range f.Blocks {
+		for j := range b.Insns {
+			in := &b.Insns[j]
+			if in.Def == RegNone {
+				continue
+			}
+			defs[in.Def]++
+			if !in.HasFlag(FlagMerge) && !in.HasFlag(FlagSpill) && !in.HasFlag(FlagSave) {
+				merge[in.Def] = merge[in.Def] || false
+			} else {
+				merge[in.Def] = true
+			}
+			if in.Def >= f.NextReg {
+				return fmt.Errorf("func %s: register v%d >= NextReg %d", f.Name, in.Def, f.NextReg)
+			}
+		}
+	}
+	for r, n := range defs {
+		if n > 1 && !merge[r] {
+			return fmt.Errorf("func %s: register v%d defined %d times without FlagMerge", f.Name, r, n)
+		}
+	}
+	return nil
+}
+
+func (f *Func) verifyTerm(b *Block) error {
+	t := b.Term
+	check := func(id int, what string) error {
+		if id < 0 || id >= len(f.Blocks) {
+			return fmt.Errorf("func %s b%d: %s target b%d out of range", f.Name, b.ID, what, id)
+		}
+		return nil
+	}
+	switch t.Kind {
+	case TermFall:
+		return check(t.Fall, "fall")
+	case TermJump:
+		return check(t.Taken, "jump")
+	case TermBranch:
+		if err := check(t.Taken, "branch taken"); err != nil {
+			return err
+		}
+		if err := check(t.Fall, "branch fall"); err != nil {
+			return err
+		}
+		if t.Prob < 0 || t.Prob > 1 {
+			return fmt.Errorf("func %s b%d: branch probability %g out of [0,1]", f.Name, b.ID, t.Prob)
+		}
+		if t.Trip < 0 {
+			return fmt.Errorf("func %s b%d: negative trip %d", f.Name, b.ID, t.Trip)
+		}
+		return nil
+	case TermRet:
+		if t.Trip != 0 {
+			return fmt.Errorf("func %s b%d: ret with trip", f.Name, b.ID)
+		}
+		return nil
+	}
+	return fmt.Errorf("func %s b%d: unknown terminator kind %d", f.Name, b.ID, t.Kind)
+}
+
+func (f *Func) verifyInsn(m *Module, b *Block, in *Insn) error {
+	if in.Op.IsMem() {
+		if in.Mem.Kind == MemNone {
+			return fmt.Errorf("memory op %s without stream", in.Op)
+		}
+		if in.Mem.WSet <= 0 {
+			return fmt.Errorf("memory op %s with working set %d", in.Op, in.Mem.WSet)
+		}
+	} else if in.Mem.Kind != MemNone {
+		return fmt.Errorf("non-memory op %s with stream", in.Op)
+	}
+	switch in.Op {
+	case isa.OpCall:
+		if in.Callee < 0 || int(in.Callee) >= len(m.Funcs) {
+			return fmt.Errorf("call target f%d out of range", in.Callee)
+		}
+	case isa.OpBranch, isa.OpJump, isa.OpRet:
+		return fmt.Errorf("control op %s in block body", in.Op)
+	}
+	return nil
+}
+
+// callCycle returns a description of a call-graph cycle, or "" if acyclic.
+func (m *Module) callCycle() string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(m.Funcs))
+	var visit func(i int) string
+	visit = func(i int) string {
+		color[i] = grey
+		for _, b := range m.Funcs[i].Blocks {
+			for j := range b.Insns {
+				in := &b.Insns[j]
+				if in.Op != isa.OpCall {
+					continue
+				}
+				c := int(in.Callee)
+				switch color[c] {
+				case grey:
+					return fmt.Sprintf("%s -> %s", m.Funcs[i].Name, m.Funcs[c].Name)
+				case white:
+					if s := visit(c); s != "" {
+						return s
+					}
+				}
+			}
+		}
+		color[i] = black
+		return ""
+	}
+	for i := range m.Funcs {
+		if color[i] == white {
+			if s := visit(i); s != "" {
+				return s
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,114 @@
+// Package isa defines the target instruction set of the portable compiler:
+// a small ARM/XScale-class ISA with the operation classes the Xtrem-style
+// simulator distinguishes (ALU, MAC, shifter, memory, control).
+//
+// The ISA is deliberately minimal: the simulator charges cycles per
+// operation class, and the performance counters of the paper (Table 1)
+// report usage per class, so only the class structure matters.
+package isa
+
+import "fmt"
+
+// Op is an operation class. Every IR instruction lowers to exactly one Op.
+type Op uint8
+
+// Operation classes. The grouping follows the XScale functional units:
+// the ALU executes arithmetic/logic, the MAC unit multiplies and
+// multiply-accumulates, the shifter handles shift/rotate, and the load/store
+// unit handles memory traffic.
+const (
+	// OpNop is a no-op, used for alignment padding.
+	OpNop Op = iota
+	// OpALU is an add/sub/logic/compare instruction (1-cycle).
+	OpALU
+	// OpMul is a multiply executed on the MAC unit.
+	OpMul
+	// OpMac is a multiply-accumulate executed on the MAC unit.
+	OpMac
+	// OpShift is a shift/rotate executed on the shifter.
+	OpShift
+	// OpLoad reads memory through the data cache.
+	OpLoad
+	// OpStore writes memory through the data cache.
+	OpStore
+	// OpBranch is a conditional branch (uses the BTB/predictor).
+	OpBranch
+	// OpJump is an unconditional direct jump.
+	OpJump
+	// OpCall is a direct function call.
+	OpCall
+	// OpRet is a function return.
+	OpRet
+	// OpMove is a register-to-register copy (ALU-class, coalescible).
+	OpMove
+
+	// NumOps is the number of operation classes.
+	NumOps = int(OpMove) + 1
+)
+
+var opNames = [NumOps]string{
+	"nop", "alu", "mul", "mac", "shift", "load", "store",
+	"branch", "jump", "call", "ret", "move",
+}
+
+// String returns the lower-case mnemonic for the operation class.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsMem reports whether the operation accesses the data cache.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsControl reports whether the operation redirects fetch.
+func (o Op) IsControl() bool {
+	switch o {
+	case OpBranch, OpJump, OpCall, OpRet:
+		return true
+	}
+	return false
+}
+
+// UsesALU reports whether the operation occupies the ALU.
+func (o Op) UsesALU() bool { return o == OpALU || o == OpMove }
+
+// UsesMAC reports whether the operation occupies the MAC unit.
+func (o Op) UsesMAC() bool { return o == OpMul || o == OpMac }
+
+// UsesShifter reports whether the operation occupies the shifter.
+func (o Op) UsesShifter() bool { return o == OpShift }
+
+// Fixed machine properties of the XScale-class target.
+const (
+	// InsnBytes is the size of every encoded instruction.
+	InsnBytes = 4
+
+	// NumRegs is the number of architectural general-purpose registers.
+	NumRegs = 16
+
+	// AllocatableRegs is the number of registers available to the
+	// allocator (r13-r15 are sp/lr/pc, r12 is the scratch register).
+	AllocatableRegs = 12
+
+	// CallerSavedRegs is the number of caller-saved registers within the
+	// allocatable set (ARM AAPCS r0-r3 plus ip).
+	CallerSavedRegs = 5
+)
+
+// Latency returns the result latency in cycles of the operation class on an
+// XScale-class core: the number of cycles before a dependent instruction can
+// issue. Loads take their cache hit latency instead (the simulator adds it).
+func (o Op) Latency() int {
+	switch o {
+	case OpMul:
+		return 3
+	case OpMac:
+		return 4
+	case OpLoad:
+		return 0 // supplied by the cache model
+	default:
+		return 1
+	}
+}

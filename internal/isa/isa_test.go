@@ -1,0 +1,78 @@
+package isa
+
+import "testing"
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op                     Op
+		mem, ctl, alu, mac, sh bool
+	}{
+		{OpNop, false, false, false, false, false},
+		{OpALU, false, false, true, false, false},
+		{OpMul, false, false, false, true, false},
+		{OpMac, false, false, false, true, false},
+		{OpShift, false, false, false, false, true},
+		{OpLoad, true, false, false, false, false},
+		{OpStore, true, false, false, false, false},
+		{OpBranch, false, true, false, false, false},
+		{OpJump, false, true, false, false, false},
+		{OpCall, false, true, false, false, false},
+		{OpRet, false, true, false, false, false},
+		{OpMove, false, false, true, false, false},
+	}
+	for _, c := range cases {
+		if got := c.op.IsMem(); got != c.mem {
+			t.Errorf("%v.IsMem() = %v, want %v", c.op, got, c.mem)
+		}
+		if got := c.op.IsControl(); got != c.ctl {
+			t.Errorf("%v.IsControl() = %v, want %v", c.op, got, c.ctl)
+		}
+		if got := c.op.UsesALU(); got != c.alu {
+			t.Errorf("%v.UsesALU() = %v, want %v", c.op, got, c.alu)
+		}
+		if got := c.op.UsesMAC(); got != c.mac {
+			t.Errorf("%v.UsesMAC() = %v, want %v", c.op, got, c.mac)
+		}
+		if got := c.op.UsesShifter(); got != c.sh {
+			t.Errorf("%v.UsesShifter() = %v, want %v", c.op, got, c.sh)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if OpMul.Latency() <= OpALU.Latency() {
+		t.Error("multiply should be slower than ALU")
+	}
+	if OpMac.Latency() < OpMul.Latency() {
+		t.Error("MAC should not be faster than multiply")
+	}
+	if OpLoad.Latency() != 0 {
+		t.Error("load latency is supplied by the cache model, should be 0 here")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for op := OpNop; int(op) < NumOps; op++ {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Errorf("op %d has empty or duplicate name %q", op, s)
+		}
+		seen[s] = true
+	}
+	if Op(200).String() == "" {
+		t.Error("out-of-range op should still format")
+	}
+}
+
+func TestMachineConstants(t *testing.T) {
+	if AllocatableRegs >= NumRegs {
+		t.Error("some registers must be reserved (sp/lr/pc)")
+	}
+	if CallerSavedRegs >= AllocatableRegs {
+		t.Error("caller-saved must be a subset of allocatable")
+	}
+	if InsnBytes != 4 {
+		t.Error("fixed 4-byte instructions expected")
+	}
+}

@@ -1,0 +1,264 @@
+// Package ml implements the paper's machine-learning model (Section 3):
+//
+//   - per program/microarchitecture pair, an IID multinomial distribution
+//     g(y|X) over optimisation settings is fitted by maximum likelihood to
+//     the empirical distribution of the *good* settings - those within the
+//     top 5% of the sampled optimisation space (equations 2-5);
+//
+//   - across pairs, a predictive distribution q(y|x) is formed by K-nearest
+//     -neighbour combination in feature space: the distributions of the K=7
+//     closest training pairs are mixed with weights w_k proportional to
+//     exp(-beta*d(x_k,x*)), beta=1 (equation 6);
+//
+//   - prediction takes the mode of the mixture (equation 1), which
+//     factorises per optimisation dimension under the IID assumption.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"portcc/internal/features"
+	"portcc/internal/opt"
+)
+
+// Dist is the IID multinomial distribution g(y|X): one categorical
+// distribution per optimisation dimension.
+type Dist struct {
+	// Theta[l][j] is the probability that dimension l takes value j
+	// (theta_l^j in equation 4/5).
+	Theta [opt.NumDims][opt.MaxDimSize]float64
+}
+
+// GoodFraction is the paper's definition of the good set: settings within
+// the top 5% of all training settings for the pair (footnote 1).
+const GoodFraction = 0.05
+
+// MinGoodCount stabilises the fit at reduced sampling scales: the paper's
+// 5% of 1000 evaluations gives 50 settings per fit; with fewer sampled
+// settings the top 5% alone is too sparse to estimate the per-dimension
+// probabilities, so at least this many settings enter the fit (at the
+// paper's scale the 5% rule dominates and this floor is inactive).
+const MinGoodCount = 10
+
+// FitGood computes the maximum-likelihood IID fit to a uniform empirical
+// distribution over the given good settings (equation 5): theta_l^j is the
+// frequency of value j in dimension l.
+func FitGood(good []opt.Config) (Dist, error) {
+	var d Dist
+	if len(good) == 0 {
+		return d, fmt.Errorf("ml: empty good set")
+	}
+	inv := 1.0 / float64(len(good))
+	for i := range good {
+		for l := 0; l < opt.NumDims; l++ {
+			d.Theta[l][good[i].Value(l)] += inv
+		}
+	}
+	return d, nil
+}
+
+// TopGood selects the good set from a sampled dataset: the configurations
+// whose speedups are within the top GoodFraction, at least one.
+func TopGood(configs []opt.Config, speedups []float64) []opt.Config {
+	n := len(configs)
+	if n == 0 || n != len(speedups) {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if speedups[idx[a]] != speedups[idx[b]] {
+			return speedups[idx[a]] > speedups[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	k := int(math.Ceil(float64(n) * GoodFraction))
+	if k < MinGoodCount {
+		k = MinGoodCount
+	}
+	if k > n {
+		k = n
+	}
+	good := make([]opt.Config, 0, k)
+	for _, i := range idx[:k] {
+		good = append(good, configs[i])
+	}
+	return good
+}
+
+// Mode returns the most probable configuration under the distribution
+// (equation 1 restricted to one mixture component).
+func (d *Dist) Mode() opt.Config {
+	var c opt.Config
+	for l := 0; l < opt.NumDims; l++ {
+		best, bestP := 0, -1.0
+		for j := 0; j < opt.DimSize(l); j++ {
+			if d.Theta[l][j] > bestP {
+				best, bestP = j, d.Theta[l][j]
+			}
+		}
+		c.SetValue(l, best)
+	}
+	return c
+}
+
+// LogLikelihood returns log g(y) for a configuration, with Laplace
+// smoothing so unseen values stay finite.
+func (d *Dist) LogLikelihood(c *opt.Config) float64 {
+	const eps = 1e-6
+	ll := 0.0
+	for l := 0; l < opt.NumDims; l++ {
+		ll += math.Log(d.Theta[l][c.Value(l)] + eps)
+	}
+	return ll
+}
+
+// CrossEntropy returns H(p, g) between two per-dimension distributions -
+// the quantity minimised by the fit (equation 2/3), useful for tests.
+func CrossEntropy(p, g *Dist) float64 {
+	const eps = 1e-12
+	h := 0.0
+	for l := 0; l < opt.NumDims; l++ {
+		for j := 0; j < opt.DimSize(l); j++ {
+			if p.Theta[l][j] > 0 {
+				h -= p.Theta[l][j] * math.Log(g.Theta[l][j]+eps)
+			}
+		}
+	}
+	return h
+}
+
+// TrainingPair is one program/microarchitecture pair of the training set.
+type TrainingPair struct {
+	// Prog names the program; Arch identifies the microarchitecture
+	// (its index in the sampled configuration list).
+	Prog string
+	Arch int
+	// X is the feature vector x=(c,d) from the -O3 profiling run.
+	X []float64
+	// G is the fitted distribution over good optimisation settings.
+	G Dist
+}
+
+// Hyper-parameters of equation (6), as chosen in the paper.
+const (
+	// K is the neighbour count (the paper: "K = 7 different neighbour
+	// programs", with insensitivity to similar values).
+	K = 7
+	// Beta is the weight decay constant (beta = 1).
+	Beta = 1.0
+)
+
+// Model is the trained predictor.
+type Model struct {
+	Pairs []TrainingPair
+	Norm  *features.Normalizer
+	// KNeighbours and BetaValue allow experiments to vary the paper's
+	// hyper-parameters; zero values select K and Beta.
+	KNeighbours int
+	BetaValue   float64
+}
+
+// Train builds a model from training pairs: the feature normaliser is
+// estimated and frozen from the training set.
+func Train(pairs []TrainingPair) *Model {
+	vecs := make([][]float64, len(pairs))
+	for i := range pairs {
+		vecs[i] = pairs[i].X
+	}
+	return &Model{Pairs: pairs, Norm: features.NewNormalizer(vecs)}
+}
+
+// Exclude describes the leave-one-out mask: any training pair matching the
+// program name or the architecture index is dropped from the neighbour
+// search (Section 5.1.1: neither the test program nor the test
+// microarchitecture is ever trained on).
+type Exclude struct {
+	Prog string
+	Arch int
+}
+
+// Matches reports whether the pair is excluded.
+func (e Exclude) Matches(p *TrainingPair) bool {
+	return p.Prog == e.Prog || p.Arch == e.Arch
+}
+
+type neighbour struct {
+	dist float64
+	pair *TrainingPair
+}
+
+// Predict returns the predicted-best configuration for feature vector x
+// (equation 1): the mode of the KNN mixture q(y|x). The exclusion mask
+// implements leave-one-out cross-validation; pass Exclude{Arch: -1} to use
+// every pair.
+func (m *Model) Predict(x []float64, excl Exclude) opt.Config {
+	mix := m.Mixture(x, excl)
+	return mix.Mode()
+}
+
+// Mixture computes q(y|x): the convex combination of the K nearest
+// training distributions with weights w_k = exp(-beta d_k)/sum (eq. 6).
+func (m *Model) Mixture(x []float64, excl Exclude) Dist {
+	k := m.KNeighbours
+	if k <= 0 {
+		k = K
+	}
+	beta := m.BetaValue
+	if beta <= 0 {
+		beta = Beta
+	}
+	nx := m.Norm.Apply(x)
+	var nbrs []neighbour
+	for i := range m.Pairs {
+		p := &m.Pairs[i]
+		if excl.Matches(p) {
+			continue
+		}
+		nbrs = append(nbrs, neighbour{dist: features.Distance(nx, m.Norm.Apply(p.X)), pair: p})
+	}
+	sort.Slice(nbrs, func(a, b int) bool {
+		if nbrs[a].dist != nbrs[b].dist {
+			return nbrs[a].dist < nbrs[b].dist
+		}
+		// Deterministic tie-break on identity.
+		if nbrs[a].pair.Prog != nbrs[b].pair.Prog {
+			return nbrs[a].pair.Prog < nbrs[b].pair.Prog
+		}
+		return nbrs[a].pair.Arch < nbrs[b].pair.Arch
+	})
+	if len(nbrs) > k {
+		nbrs = nbrs[:k]
+	}
+	var mix Dist
+	if len(nbrs) == 0 {
+		// Degenerate: uniform distribution.
+		for l := 0; l < opt.NumDims; l++ {
+			for j := 0; j < opt.DimSize(l); j++ {
+				mix.Theta[l][j] = 1.0 / float64(opt.DimSize(l))
+			}
+		}
+		return mix
+	}
+	// Weights relative to the nearest distance for numerical stability.
+	d0 := nbrs[0].dist
+	wsum := 0.0
+	ws := make([]float64, len(nbrs))
+	for i, nb := range nbrs {
+		ws[i] = math.Exp(-beta * (nb.dist - d0))
+		wsum += ws[i]
+	}
+	for i, nb := range nbrs {
+		w := ws[i] / wsum
+		for l := 0; l < opt.NumDims; l++ {
+			for j := 0; j < opt.DimSize(l); j++ {
+				mix.Theta[l][j] += w * nb.pair.G.Theta[l][j]
+			}
+		}
+	}
+	return mix
+}

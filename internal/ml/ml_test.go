@@ -1,0 +1,184 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"portcc/internal/opt"
+)
+
+func TestFitGoodFrequencies(t *testing.T) {
+	// Three configs: flag 0 on in two of them -> theta = 2/3.
+	var a, b, c opt.Config
+	a.Flags[0] = true
+	b.Flags[0] = true
+	d, err := FitGood([]opt.Config{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Theta[0][1]-2.0/3) > 1e-12 {
+		t.Errorf("theta[0][on] = %g, want 2/3", d.Theta[0][1])
+	}
+	if math.Abs(d.Theta[0][0]-1.0/3) > 1e-12 {
+		t.Errorf("theta[0][off] = %g, want 1/3", d.Theta[0][0])
+	}
+}
+
+func TestFitGoodEmpty(t *testing.T) {
+	if _, err := FitGood(nil); err == nil {
+		t.Error("empty good set accepted")
+	}
+}
+
+func TestThetaSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var cs []opt.Config
+		for i := 0; i < 12; i++ {
+			cs = append(cs, opt.Random(rng))
+		}
+		d, err := FitGood(cs)
+		if err != nil {
+			return false
+		}
+		for l := 0; l < opt.NumDims; l++ {
+			s := 0.0
+			for j := 0; j < opt.DimSize(l); j++ {
+				s += d.Theta[l][j]
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModePicksArgmax(t *testing.T) {
+	var on opt.Config
+	on.Flags[opt.FGcse] = true
+	d, _ := FitGood([]opt.Config{on, on, {}})
+	mode := d.Mode()
+	if !mode.Flag(opt.FGcse) {
+		t.Error("mode must select the majority value")
+	}
+}
+
+func TestTopGoodSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var configs []opt.Config
+	var speedups []float64
+	for i := 0; i < 100; i++ {
+		configs = append(configs, opt.Random(rng))
+		speedups = append(speedups, float64(i)) // strictly increasing
+	}
+	good := TopGood(configs, speedups)
+	if len(good) != MinGoodCount {
+		t.Fatalf("good set size %d, want MinGoodCount %d (5%% of 100 = 5 < floor)", len(good), MinGoodCount)
+	}
+	// They must be the 10 highest-speedup configs (indices 90..99).
+	if good[0] != configs[99] {
+		t.Error("best config not first in the good set")
+	}
+}
+
+func TestGibbsInequality(t *testing.T) {
+	// Cross-entropy H(p, q) is minimised at q = p (equation 2's basis).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var cs1, cs2 []opt.Config
+		for i := 0; i < 15; i++ {
+			cs1 = append(cs1, opt.Random(rng))
+			cs2 = append(cs2, opt.Random(rng))
+		}
+		p, _ := FitGood(cs1)
+		q, _ := FitGood(cs2)
+		return CrossEntropy(&p, &p) <= CrossEntropy(&p, &q)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func makePair(name string, arch int, x []float64, flagOn opt.Flag) TrainingPair {
+	var c opt.Config
+	c.Flags[flagOn] = true
+	g, _ := FitGood([]opt.Config{c, c, c})
+	return TrainingPair{Prog: name, Arch: arch, X: x, G: g}
+}
+
+func TestKNNPrefersNearest(t *testing.T) {
+	// Two clusters with opposite preferred flags; a query near cluster A
+	// must inherit A's flag.
+	var pairs []TrainingPair
+	for i := 0; i < 8; i++ {
+		pairs = append(pairs, makePair("a", i, []float64{0, float64(i) * 0.01}, opt.FUnrollLoops))
+		pairs = append(pairs, makePair("b", i+8, []float64{10, float64(i) * 0.01}, opt.FScheduleInsns))
+	}
+	m := Train(pairs)
+	got := m.Predict([]float64{0.1, 0}, Exclude{Prog: "none", Arch: -1})
+	if !got.Flag(opt.FUnrollLoops) || got.Flag(opt.FScheduleInsns) {
+		t.Error("prediction ignored the nearest cluster")
+	}
+	got = m.Predict([]float64{9.9, 0}, Exclude{Prog: "none", Arch: -1})
+	if got.Flag(opt.FUnrollLoops) || !got.Flag(opt.FScheduleInsns) {
+		t.Error("prediction ignored the nearest cluster (far side)")
+	}
+}
+
+func TestExcludeMask(t *testing.T) {
+	var pairs []TrainingPair
+	for i := 0; i < 4; i++ {
+		pairs = append(pairs, makePair("victim", i, []float64{0, 0}, opt.FUnrollLoops))
+	}
+	pairs = append(pairs, makePair("other", 99, []float64{5, 5}, opt.FScheduleInsns))
+	m := Train(pairs)
+	// Excluding "victim" leaves only the far pair.
+	got := m.Predict([]float64{0, 0}, Exclude{Prog: "victim", Arch: -1})
+	if got.Flag(opt.FUnrollLoops) {
+		t.Error("excluded program leaked into the prediction")
+	}
+	if !got.Flag(opt.FScheduleInsns) {
+		t.Error("remaining pair not used")
+	}
+}
+
+func TestMixtureWeightsSumToOne(t *testing.T) {
+	var pairs []TrainingPair
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		var cs []opt.Config
+		for j := 0; j < 5; j++ {
+			cs = append(cs, opt.Random(rng))
+		}
+		g, _ := FitGood(cs)
+		pairs = append(pairs, TrainingPair{Prog: "p", Arch: i,
+			X: []float64{rng.Float64(), rng.Float64()}, G: g})
+	}
+	m := Train(pairs)
+	mix := m.Mixture([]float64{0.5, 0.5}, Exclude{Prog: "none", Arch: -1})
+	for l := 0; l < opt.NumDims; l++ {
+		s := 0.0
+		for j := 0; j < opt.DimSize(l); j++ {
+			s += mix.Theta[l][j]
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("mixture dimension %d sums to %g", l, s)
+		}
+	}
+}
+
+func TestEmptyNeighboursFallBackToUniform(t *testing.T) {
+	m := Train([]TrainingPair{makePair("only", 0, []float64{1}, opt.FGcse)})
+	mix := m.Mixture([]float64{1}, Exclude{Prog: "only", Arch: -1})
+	for j := 0; j < 2; j++ {
+		if math.Abs(mix.Theta[0][j]-0.5) > 1e-9 {
+			t.Error("empty neighbour set must yield a uniform mixture")
+		}
+	}
+}

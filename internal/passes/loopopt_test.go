@@ -1,0 +1,252 @@
+package passes
+
+import (
+	"testing"
+
+	"portcc/internal/ir"
+	"portcc/internal/isa"
+)
+
+// countedLoop builds pre -> header(body) -> latch-branch with trip count.
+func countedLoop(trip int32, bodySize int) (*ir.Func, *ir.Block) {
+	b := newTB()
+	iv := b.reg()
+	b.cur.Insns = append(b.cur.Insns, ir.Insn{Op: isa.OpALU, Def: iv, Imm: 100, Flags: ir.FlagMerge})
+	header, exit := b.block(), b.block()
+	b.f.Blocks[0].Term = ir.Term{Kind: ir.TermFall, Fall: header.ID}
+	b.cur = header
+	for i := 0; i < bodySize; i++ {
+		b.store(b.aluTag(int32(i + 1)))
+	}
+	header.Insns = append(header.Insns, ir.Insn{Op: isa.OpALU, Def: iv,
+		Use: [2]ir.Reg{iv}, Imm: 1, Flags: ir.FlagMerge | ir.FlagInduction})
+	cond := b.reg()
+	header.Insns = append(header.Insns, ir.Insn{Op: isa.OpALU, Def: cond, Use: [2]ir.Reg{iv}, Imm: 101})
+	header.Term = ir.Term{Kind: ir.TermBranch, Taken: header.ID, Fall: exit.ID,
+		Trip: trip, CondReg: cond, Site: 1}
+	exit.Term = ir.Term{Kind: ir.TermRet}
+	return b.f, header
+}
+
+func TestUnrollReplicatesBody(t *testing.T) {
+	f, header := countedLoop(16, 3)
+	sizeBefore := f.Size()
+	if n := Unroll(f, 4, 400); n != 1 {
+		t.Fatalf("unrolled %d loops, want 1", n)
+	}
+	if f.Size() < 3*sizeBefore {
+		t.Errorf("size %d -> %d: body not replicated ~4x", sizeBefore, f.Size())
+	}
+	// The original latch must now fall through; a new latch carries the
+	// back edge with the reduced trip count.
+	if header.Term.Kind == ir.TermBranch {
+		t.Error("original latch should no longer hold the back edge")
+	}
+	var latches int
+	for _, blk := range f.Blocks {
+		if blk.Term.Kind == ir.TermBranch && blk.Term.Taken == header.ID {
+			latches++
+			if blk.Term.Trip != 4 {
+				t.Errorf("new trip = %d, want 16/4 = 4", blk.Term.Trip)
+			}
+		}
+	}
+	if latches != 1 {
+		t.Errorf("%d back edges, want 1", latches)
+	}
+}
+
+func TestUnrollRespectsSizeBudget(t *testing.T) {
+	f, _ := countedLoop(16, 40) // body ~81 instructions
+	if n := Unroll(f, 8, 100); n != 0 {
+		t.Errorf("unrolled despite max_unrolled_insns budget (%d)", n)
+	}
+}
+
+func TestUnrollSkipsUncountedLoops(t *testing.T) {
+	f, header := countedLoop(0, 3)
+	header.Term.Prob = 0.9 // probabilistic latch
+	if n := Unroll(f, 4, 400); n != 0 {
+		t.Errorf("unrolled a non-counted loop (%d)", n)
+	}
+}
+
+func TestStrengthReduce(t *testing.T) {
+	f, header := countedLoop(8, 1)
+	// Insert a multiply by the induction variable.
+	iv := header.Insns[len(header.Insns)-2].Def // the induction update's reg
+	mul := ir.Insn{Op: isa.OpMul, Def: f.NewReg(), Use: [2]ir.Reg{iv},
+		Imm: 55, Flags: ir.FlagMulByIndex}
+	header.Insns = append([]ir.Insn{mul}, header.Insns...)
+	header.Insns = append(header.Insns, ir.Insn{Op: isa.OpStore,
+		Use: [2]ir.Reg{mul.Def}, Mem: ir.MemRef{Stream: 3, Kind: ir.MemSeq, WSet: 64, Stride: 4}})
+	f.Invalidate()
+	if n := StrengthReduce(f); n != 1 {
+		t.Fatalf("reduced %d multiplies, want 1", n)
+	}
+	for _, in := range header.Insns {
+		if in.Op == isa.OpMul {
+			t.Error("multiply survived strength reduction")
+		}
+	}
+}
+
+func TestUnswitchDuplicatesLoop(t *testing.T) {
+	// Loop whose body branches on an invariant condition.
+	b := newTB()
+	cond := b.aluTag(1)
+	header, thenB, elseB, latch, exit := b.block(), b.block(), b.block(), b.block(), b.block()
+	b.f.Blocks[0].Term = ir.Term{Kind: ir.TermFall, Fall: header.ID}
+	header.Insns = []ir.Insn{{Op: isa.OpALU, Def: b.reg(), Imm: 2}}
+	header.Term = ir.Term{Kind: ir.TermBranch, Taken: thenB.ID, Fall: elseB.ID,
+		Prob: 0.5, CondReg: cond, InvariantIn: header.ID, Site: 2}
+	thenB.Insns = []ir.Insn{{Op: isa.OpALU, Def: b.reg(), Imm: 3}}
+	thenB.Term = ir.Term{Kind: ir.TermJump, Taken: latch.ID}
+	elseB.Insns = []ir.Insn{{Op: isa.OpALU, Def: b.reg(), Imm: 4}}
+	elseB.Term = ir.Term{Kind: ir.TermFall, Fall: latch.ID}
+	latch.Term = ir.Term{Kind: ir.TermBranch, Taken: header.ID, Fall: exit.ID, Trip: 8, Site: 3}
+	exit.Term = ir.Term{Kind: ir.TermRet}
+
+	nBlocks := len(b.f.Blocks)
+	if n := Unswitch(b.f); n != 1 {
+		t.Fatalf("unswitched %d loops, want 1", n)
+	}
+	if len(b.f.Blocks) <= nBlocks {
+		t.Error("loop body not duplicated")
+	}
+	// The preheader must now select between two loop versions.
+	if b.f.Blocks[0].Term.Kind != ir.TermBranch {
+		t.Error("preheader must branch between the two versions")
+	}
+	// The in-loop invariant branch must be folded in both copies.
+	if header.Term.Kind == ir.TermBranch && header.Term.CondReg == cond {
+		t.Error("invariant branch survived inside the original copy")
+	}
+}
+
+func TestInlineSplicesCallee(t *testing.T) {
+	// caller: entry calls callee then returns; callee: small body.
+	caller := &ir.Func{Name: "caller", ID: 0, NextReg: 5}
+	caller.Blocks = []*ir.Block{{ID: 0,
+		Insns: []ir.Insn{
+			{Op: isa.OpALU, Def: 1, Imm: 1},
+			{Op: isa.OpCall, Callee: 1},
+			{Op: isa.OpALU, Def: 2, Imm: 2},
+			{Op: isa.OpStore, Use: [2]ir.Reg{2}, Mem: ir.MemRef{Stream: 1, Kind: ir.MemSeq, WSet: 64, Stride: 4}},
+		},
+		Term: ir.Term{Kind: ir.TermRet}}}
+	callee := &ir.Func{Name: "callee", ID: 1, NextReg: 3}
+	callee.Blocks = []*ir.Block{{ID: 0,
+		Insns: []ir.Insn{
+			{Op: isa.OpALU, Def: 1, Imm: 10},
+			{Op: isa.OpStore, Use: [2]ir.Reg{1}, Mem: ir.MemRef{Stream: 2, Kind: ir.MemSeq, WSet: 64, Stride: 4}},
+		},
+		Term: ir.Term{Kind: ir.TermRet}}}
+	m := &ir.Module{Name: "inl", Funcs: []*ir.Func{caller, callee}}
+	n := Inline(m, InlineParams{MaxInsnsAuto: 120, LargeFunctionInsns: 2700,
+		LargeFunctionGrowth: 100, LargeUnitInsns: 10000, UnitGrowth: 100, CallCost: 16})
+	if n != 1 {
+		t.Fatalf("inlined %d call sites, want 1", n)
+	}
+	for _, b := range caller.Blocks {
+		for _, in := range b.Insns {
+			if in.Op == isa.OpCall {
+				t.Fatal("call instruction survived inlining")
+			}
+		}
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("inlined module fails verification: %v", err)
+	}
+}
+
+func TestInlineRespectsCalleeSizeLimit(t *testing.T) {
+	caller := &ir.Func{Name: "caller", ID: 0, NextReg: 2}
+	caller.Blocks = []*ir.Block{{ID: 0,
+		Insns: []ir.Insn{{Op: isa.OpCall, Callee: 1}},
+		Term:  ir.Term{Kind: ir.TermRet}}}
+	big := &ir.Func{Name: "big", ID: 1, NextReg: 200}
+	blk := &ir.Block{ID: 0, Term: ir.Term{Kind: ir.TermRet}}
+	for i := 0; i < 150; i++ {
+		blk.Insns = append(blk.Insns, ir.Insn{Op: isa.OpALU, Def: ir.Reg(i + 1), Imm: int32(i)})
+	}
+	big.Blocks = []*ir.Block{blk}
+	m := &ir.Module{Name: "big", Funcs: []*ir.Func{caller, big}}
+	n := Inline(m, InlineParams{MaxInsnsAuto: 120, LargeFunctionInsns: 2700,
+		LargeFunctionGrowth: 100, LargeUnitInsns: 10000, UnitGrowth: 100, CallCost: 16})
+	if n != 0 {
+		t.Errorf("inlined an oversized callee (%d)", n)
+	}
+}
+
+func TestSiblingCalls(t *testing.T) {
+	caller := &ir.Func{Name: "caller", ID: 0, NextReg: 2}
+	caller.Blocks = []*ir.Block{{ID: 0,
+		Insns: []ir.Insn{{Op: isa.OpCall, Callee: 1}},
+		Term:  ir.Term{Kind: ir.TermRet}}}
+	leaf := &ir.Func{Name: "leaf", ID: 1, NextReg: 2}
+	leaf.Blocks = []*ir.Block{{ID: 0,
+		Insns: []ir.Insn{{Op: isa.OpALU, Def: 1, Imm: 1}},
+		Term:  ir.Term{Kind: ir.TermRet}}}
+	m := &ir.Module{Name: "sib", Funcs: []*ir.Func{caller, leaf}}
+	if n := SiblingCalls(m); n != 1 {
+		t.Fatalf("converted %d sibling calls, want 1", n)
+	}
+	if !caller.Blocks[0].Insns[0].HasFlag(ir.FlagTailCall) {
+		t.Error("tail-position call not marked")
+	}
+}
+
+func TestStoreMotionPromotesScalar(t *testing.T) {
+	b := newTB()
+	header, exit := b.block(), b.block()
+	b.f.Blocks[0].Term = ir.Term{Kind: ir.TermFall, Fall: header.ID}
+	scalar := ir.MemRef{Stream: 9, Kind: ir.MemScalar, WSet: 4}
+	v := b.f.NewReg()
+	s := b.f.NewReg()
+	header.Insns = []ir.Insn{
+		{Op: isa.OpLoad, Def: v, Mem: scalar},
+		{Op: isa.OpALU, Def: s, Use: [2]ir.Reg{v}, Imm: 1},
+		{Op: isa.OpStore, Use: [2]ir.Reg{s}, Mem: scalar},
+	}
+	header.Term = ir.Term{Kind: ir.TermBranch, Taken: header.ID, Fall: exit.ID, Trip: 8}
+	exit.Term = ir.Term{Kind: ir.TermRet}
+
+	if n := StoreMotion(b.f); n != 1 {
+		t.Fatalf("promoted %d scalars, want 1", n)
+	}
+	for _, in := range header.Insns {
+		if in.Op.IsMem() {
+			t.Error("memory access survived inside the loop")
+		}
+	}
+	// One store must now sit on the exit.
+	hasStore := false
+	for _, in := range exit.Insns {
+		if in.Op == isa.OpStore {
+			hasStore = true
+		}
+	}
+	if !hasStore {
+		t.Error("promoted value not stored back at the loop exit")
+	}
+}
+
+func TestLoadAfterStoreForwarding(t *testing.T) {
+	b := newTB()
+	scalar := ir.MemRef{Stream: 9, Kind: ir.MemScalar, WSet: 4}
+	val := b.aluTag(1)
+	b.cur.Insns = append(b.cur.Insns, ir.Insn{Op: isa.OpStore, Use: [2]ir.Reg{val}, Mem: scalar})
+	ld := b.f.NewReg()
+	b.cur.Insns = append(b.cur.Insns, ir.Insn{Op: isa.OpLoad, Def: ld, Mem: scalar})
+	b.store(ld)
+	b.cur.Term = ir.Term{Kind: ir.TermRet}
+	if n := GCSELoadAfterStore(b.f); n != 1 {
+		t.Fatalf("forwarded %d loads, want 1", n)
+	}
+	for _, in := range b.f.Blocks[0].Insns {
+		if in.Op == isa.OpLoad {
+			t.Error("load survived store-to-load forwarding")
+		}
+	}
+}

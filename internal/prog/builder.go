@@ -1,0 +1,574 @@
+// Package prog provides the 35 MiBench-equivalent benchmark programs the
+// paper evaluates (Section 4.1), written against a small program-builder
+// DSL that emits the compiler's IR.
+//
+// Each program is a synthetic workload modelled on the published character
+// of its MiBench namesake: loop structure, instruction mix, working-set
+// sizes, branch behaviour, call structure, hand-optimisation idioms
+// (pre-unrolled crypto rounds, pointer chasing, in-memory accumulators,
+// redundant guard checks) and the fraction of time spent in opaque library
+// code. The optimisation passes act on this structure mechanically, so
+// programs respond to compiler flags and microarchitecture changes the way
+// the paper's Figure 4/8 analysis describes.
+package prog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"portcc/internal/ir"
+	"portcc/internal/isa"
+)
+
+// B is the program builder.
+type B struct {
+	m       *ir.Module
+	f       *ir.Func
+	cur     *ir.Block
+	rng     *rand.Rand
+	streams map[string]int32
+	streamN int32
+	immN    int32
+	loops   []loopCtx
+	ifs     []ifCtx
+	window  []windowEntry
+	exprs   []savedExpr
+	fixups  []fixup
+	siteN   int32
+	err     error
+}
+
+// windowEntry tracks a recently defined value and how often it has been
+// consumed; the picker prefers unconsumed values so that almost nothing
+// the builder emits is dead code (as in real programs).
+type windowEntry struct {
+	reg  ir.Reg
+	uses int
+}
+
+type loopCtx struct {
+	header int
+	iv     ir.Reg
+	trip   int32
+	prob   float64
+	preh   int
+	snap   []windowEntry // window at loop entry (preheader values)
+	exprs  []savedExpr
+}
+
+type ifCtx struct {
+	side   int // the branch-taken (out-of-line) block
+	join   int
+	fromIf *ir.Block // block that ends with the branch
+	inMain bool
+	snap   []windowEntry // window at the branch (dominating values)
+	exprs  []savedExpr
+}
+
+type savedExpr struct {
+	op  isa.Op
+	use [2]ir.Reg
+	imm int32
+}
+
+type fixup struct {
+	funcID int
+	block  int
+	index  int
+	callee string
+}
+
+// NewB starts a program named name. The seed fixes all builder-internal
+// randomness, making the emitted IR fully deterministic.
+func NewB(name string, seed int64) *B {
+	return &B{
+		m:       &ir.Module{Name: name},
+		rng:     rand.New(rand.NewSource(seed)),
+		streams: map[string]int32{},
+	}
+}
+
+func (b *B) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("prog %s: %s", b.m.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Func begins a new function; the first function built is the entry point.
+// Every function starts by materialising two incoming arguments from its
+// stack frame, seeding the dependency window with loop-variant values (and
+// modelling real argument-passing traffic).
+func (b *B) Func(name string) {
+	f := &ir.Func{Name: name, ID: len(b.m.Funcs), NextReg: 1}
+	b.m.Funcs = append(b.m.Funcs, f)
+	b.f = f
+	blk := &ir.Block{ID: 0}
+	f.Blocks = []*ir.Block{blk}
+	b.cur = blk
+	b.window = b.window[:0]
+	b.loops = b.loops[:0]
+	b.ifs = b.ifs[:0]
+	b.exprs = b.exprs[:0]
+	for i := 0; i < 2; i++ {
+		b.Load("args_"+name, ir.MemStack, 64, 4)
+	}
+}
+
+// Library marks the current function as opaque library code that the
+// optimiser must not touch.
+func (b *B) Library() { b.f.Library = true }
+
+// newBlock appends a fresh block to the current function.
+func (b *B) newBlock() *ir.Block {
+	blk := &ir.Block{ID: len(b.f.Blocks)}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	return blk
+}
+
+func (b *B) tag() int32 {
+	b.immN++
+	return b.immN
+}
+
+// site returns a fresh stable branch-site identity (see ir.Term.Site).
+func (b *B) site() int32 {
+	b.siteN++
+	return b.siteN
+}
+
+// Stream returns a stable stream id for a name, shared across functions.
+func (b *B) Stream(name string) int32 {
+	if id, ok := b.streams[name]; ok {
+		return id
+	}
+	id := b.streamN
+	b.streamN++
+	b.streams[name] = id
+	return id
+}
+
+// snapshot copies the current window; restore reinstates it. Values
+// defined inside a conditional arm or a loop body do not dominate the code
+// after it, so the picker's window is rolled back at those boundaries.
+func (b *B) snapshot() []windowEntry {
+	return append([]windowEntry(nil), b.window...)
+}
+
+func (b *B) exprSnapshot() []savedExpr {
+	return append([]savedExpr(nil), b.exprs...)
+}
+
+func (b *B) restore(snap []windowEntry, exprs []savedExpr) {
+	b.window = append(b.window[:0], snap...)
+	b.exprs = append(b.exprs[:0], exprs...)
+}
+
+func (b *B) push(r ir.Reg) {
+	b.window = append(b.window, windowEntry{reg: r})
+	if len(b.window) > 12 {
+		b.window = b.window[1:]
+	}
+}
+
+// pick selects a recent value as an operand. It strongly prefers values
+// not yet consumed - real expression DAGs use nearly every intermediate
+// exactly once - falling back to a recency-biased reuse. The resulting
+// tight def-use chains are what instruction scheduling later stretches.
+func (b *B) pick() ir.Reg {
+	n := len(b.window)
+	if n == 0 {
+		return ir.RegNone
+	}
+	// Oldest unconsumed value first.
+	for i := 0; i < n; i++ {
+		if b.window[i].uses == 0 {
+			b.window[i].uses++
+			return b.window[i].reg
+		}
+	}
+	i := n - 1 - minInt(b.rng.Intn(3), n-1)
+	b.window[i].uses++
+	return b.window[i].reg
+}
+
+// pickAny selects a recency-biased value without unconsumed preference,
+// widening the dependency DAG (instruction-level parallelism for the
+// scheduler to exploit, and longer live ranges when it does).
+func (b *B) pickAny() ir.Reg {
+	n := len(b.window)
+	if n == 0 {
+		return ir.RegNone
+	}
+	i := n - 1 - minInt(b.rng.Intn(8), n-1)
+	b.window[i].uses++
+	return b.window[i].reg
+}
+
+func minInt(a, c int) int {
+	if a < c {
+		return a
+	}
+	return c
+}
+
+// emit appends an instruction to the current block.
+func (b *B) emit(in ir.Insn) ir.Reg {
+	b.cur.Insns = append(b.cur.Insns, in)
+	if in.Def != ir.RegNone && !in.HasFlag(ir.FlagMerge) {
+		b.push(in.Def)
+	}
+	return in.Def
+}
+
+// op emits one computation of class op with fresh semantics. The first
+// operand continues the consumption chain (so values do not go dead); the
+// second spreads across recent values, giving the DAG realistic width.
+func (b *B) op(opc isa.Op, record bool) ir.Reg {
+	d := b.f.NewReg()
+	in := ir.Insn{Op: opc, Def: d, Use: [2]ir.Reg{b.pick(), b.pickAny()}, Imm: b.tag()}
+	if opc == isa.OpShift || opc == isa.OpMul {
+		in.Use[1] = ir.RegNone
+	}
+	b.emit(in)
+	if record {
+		b.exprs = append(b.exprs, savedExpr{op: in.Op, use: in.Use, imm: in.Imm})
+		if len(b.exprs) > 32 {
+			b.exprs = b.exprs[1:]
+		}
+	}
+	return d
+}
+
+// ALU emits n arithmetic/logic instructions.
+func (b *B) ALU(n int) {
+	for i := 0; i < n; i++ {
+		b.op(isa.OpALU, true)
+	}
+}
+
+// Shift emits n shifter instructions.
+func (b *B) Shift(n int) {
+	for i := 0; i < n; i++ {
+		b.op(isa.OpShift, true)
+	}
+}
+
+// Mul emits n multiplies (MAC unit).
+func (b *B) Mul(n int) {
+	for i := 0; i < n; i++ {
+		b.op(isa.OpMul, false)
+	}
+}
+
+// Mac emits n multiply-accumulates (MAC unit).
+func (b *B) Mac(n int) {
+	for i := 0; i < n; i++ {
+		b.op(isa.OpMac, false)
+	}
+}
+
+// Redundant re-emits n previously recorded computations with identical
+// semantics; CSE/GCSE/PRE can prove and remove the redundancy. Real code
+// gets these from repeated address expressions and macro expansion.
+func (b *B) Redundant(n int) {
+	for i := 0; i < n && len(b.exprs) > 0; i++ {
+		e := b.exprs[b.rng.Intn(len(b.exprs))]
+		d := b.f.NewReg()
+		b.emit(ir.Insn{Op: e.op, Def: d, Use: e.use, Imm: e.imm})
+	}
+}
+
+// Move emits a register copy (regmove/coalescing fodder).
+func (b *B) Move() {
+	src := b.pick()
+	if src == ir.RegNone {
+		return
+	}
+	d := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpMove, Def: d, Use: [2]ir.Reg{src}})
+}
+
+// Load emits a load from the named stream. Its address operand comes from
+// an older value (a base pointer or induction variable), so loads are
+// independent of the running computation chain - which is what lets the
+// scheduler hoist them, at a register-pressure price.
+func (b *B) Load(stream string, kind ir.MemKind, wset, stride int32) ir.Reg {
+	d := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpLoad, Def: d, Use: [2]ir.Reg{b.pickAny()},
+		Mem: ir.MemRef{Stream: b.Stream(stream), Kind: kind, WSet: wset, Stride: stride}})
+	return d
+}
+
+// LoadTable emits a data-dependent load from a read-only lookup table.
+// The fresh tag keeps distinct lookup sites distinct under value numbering
+// (they index with different data); deliberate redundancy comes from
+// Redundant, not from accidental key collisions.
+func (b *B) LoadTable(stream string, wset int32) ir.Reg {
+	d := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpLoad, Def: d, Use: [2]ir.Reg{b.pickAny()}, Imm: b.tag(),
+		Mem: ir.MemRef{Stream: b.Stream(stream), Kind: ir.MemTable, WSet: wset, ReadOnly: true}})
+	return d
+}
+
+// PtrLoad emits a pointer-chasing load (serialised with its predecessor).
+func (b *B) PtrLoad(stream string, wset int32) ir.Reg {
+	d := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpLoad, Def: d, Use: [2]ir.Reg{b.pick()},
+		Mem: ir.MemRef{Stream: b.Stream(stream), Kind: ir.MemPointer, WSet: wset}})
+	return d
+}
+
+// Store emits a store of a recent value to the named stream.
+func (b *B) Store(stream string, kind ir.MemKind, wset, stride int32) {
+	b.emit(ir.Insn{Op: isa.OpStore, Use: [2]ir.Reg{b.pick()},
+		Mem: ir.MemRef{Stream: b.Stream(stream), Kind: kind, WSet: wset, Stride: stride}})
+}
+
+// ScalarAcc emits the load-modify-store idiom on an in-memory scalar
+// accumulator (store-motion / load-after-store fodder).
+func (b *B) ScalarAcc(stream string) {
+	mem := ir.MemRef{Stream: b.Stream(stream), Kind: ir.MemScalar, WSet: 4}
+	v := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpLoad, Def: v, Mem: mem})
+	s := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpALU, Def: s, Use: [2]ir.Reg{v, b.pick()}, Imm: b.tag()})
+	b.emit(ir.Insn{Op: isa.OpStore, Use: [2]ir.Reg{s}, Mem: mem})
+}
+
+// IndexedLoad emits the classic array-walk address computation: a multiply
+// of the loop induction variable (strength-reduction fodder), an address
+// add, then the load.
+func (b *B) IndexedLoad(stream string, wset, stride int32) ir.Reg {
+	iv := b.IV()
+	t := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpMul, Def: t, Use: [2]ir.Reg{iv},
+		Imm: b.tag(), Flags: ir.FlagMulByIndex})
+	a := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpALU, Def: a, Use: [2]ir.Reg{t}, Imm: b.tag(),
+		Flags: ir.FlagAddrCalc})
+	d := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpLoad, Def: d, Use: [2]ir.Reg{a},
+		Mem: ir.MemRef{Stream: b.Stream(stream), Kind: ir.MemSeq, WSet: wset, Stride: stride}})
+	return d
+}
+
+// Call emits a call to the named function (resolved at Build).
+func (b *B) Call(name string) {
+	b.fixups = append(b.fixups, fixup{
+		funcID: b.f.ID, block: b.cur.ID, index: len(b.cur.Insns), callee: name,
+	})
+	b.emit(ir.Insn{Op: isa.OpCall, Use: [2]ir.Reg{b.pick()}, Callee: -1})
+}
+
+// IV returns the innermost loop's induction variable (RegNone outside).
+func (b *B) IV() ir.Reg {
+	if len(b.loops) == 0 {
+		return ir.RegNone
+	}
+	return b.loops[len(b.loops)-1].iv
+}
+
+// Loop opens a counted loop executing trip iterations per entry.
+func (b *B) Loop(trip int32) {
+	b.openLoop(trip, 0)
+}
+
+// LoopP opens a data-dependent loop with the given mean trip count; its
+// latch branch is probabilistic (and hence less predictable).
+func (b *B) LoopP(meanTrip float64) {
+	if meanTrip < 1 {
+		meanTrip = 1
+	}
+	b.openLoop(0, (meanTrip-1)/meanTrip)
+}
+
+func (b *B) openLoop(trip int32, prob float64) {
+	// The current block becomes the preheader: initialise the induction
+	// variable there, then fall into the header.
+	iv := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpALU, Def: iv, Imm: b.tag(), Flags: ir.FlagMerge})
+	pre := b.cur
+	header := b.newBlock()
+	pre.Term = ir.Term{Kind: ir.TermFall, Fall: header.ID}
+	b.cur = header
+	b.loops = append(b.loops, loopCtx{header: header.ID, iv: iv, trip: trip,
+		prob: prob, preh: pre.ID, snap: b.snapshot(), exprs: b.exprSnapshot()})
+}
+
+// End closes the innermost loop: the current block becomes the latch with
+// the back edge, and building continues in the exit block.
+func (b *B) End() {
+	if len(b.loops) == 0 {
+		b.fail("End without Loop")
+		return
+	}
+	lc := b.loops[len(b.loops)-1]
+	b.loops = b.loops[:len(b.loops)-1]
+	// Induction update and latch comparison.
+	b.emit(ir.Insn{Op: isa.OpALU, Def: lc.iv, Use: [2]ir.Reg{lc.iv},
+		Imm: 1, Flags: ir.FlagMerge | ir.FlagInduction})
+	cond := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpALU, Def: cond, Use: [2]ir.Reg{lc.iv}, Imm: b.tag()})
+	exit := b.newBlock()
+	b.cur.Term = ir.Term{
+		Kind: ir.TermBranch, Taken: lc.header, Fall: exit.ID,
+		Trip: lc.trip, Prob: lc.prob, CondReg: cond, Site: b.site(),
+	}
+	b.cur = exit
+	b.restore(lc.snap, lc.exprs)
+}
+
+// If opens a two-way split: with probability pSide control goes to the
+// out-of-line "side" arm (built after Else), otherwise it falls through to
+// the main arm built next. Real code shapes: error checks (small pSide),
+// data-dependent halves (pSide near 0.5).
+func (b *B) If(pSide float64) {
+	cond := b.op(isa.OpALU, false)
+	side := b.newBlock()
+	main := b.newBlock()
+	b.cur.Term = ir.Term{Kind: ir.TermBranch, Taken: side.ID, Fall: main.ID,
+		Prob: pSide, CondReg: cond, Site: b.site()}
+	b.ifs = append(b.ifs, ifCtx{side: side.ID, fromIf: b.cur, inMain: true,
+		snap: b.snapshot(), exprs: b.exprSnapshot()})
+	b.cur = main
+}
+
+// InvIf is If with a loop-invariant condition (unswitching fodder): the
+// condition register is computed in the innermost loop's preheader.
+func (b *B) InvIf(pSide float64) {
+	if len(b.loops) == 0 {
+		b.If(pSide)
+		return
+	}
+	lc := b.loops[len(b.loops)-1]
+	pre := b.f.Blocks[lc.preh]
+	cond := b.f.NewReg()
+	pre.Insns = append(pre.Insns, ir.Insn{Op: isa.OpALU, Def: cond,
+		Use: [2]ir.Reg{}, Imm: b.tag()})
+	side := b.newBlock()
+	main := b.newBlock()
+	b.cur.Term = ir.Term{Kind: ir.TermBranch, Taken: side.ID, Fall: main.ID,
+		Prob: pSide, CondReg: cond, InvariantIn: lc.header, Site: b.site()}
+	b.ifs = append(b.ifs, ifCtx{side: side.ID, fromIf: b.cur, inMain: true,
+		snap: b.snapshot(), exprs: b.exprSnapshot()})
+	b.cur = main
+}
+
+// Guard emits a provably-redundant bounds-check branch (VRP fodder): the
+// comparison and branch always fall through.
+func (b *B) Guard() {
+	cond := b.f.NewReg()
+	b.emit(ir.Insn{Op: isa.OpALU, Def: cond, Use: [2]ir.Reg{b.pick()},
+		Imm: b.tag(), Flags: ir.FlagGuard})
+	side := b.newBlock()
+	main := b.newBlock()
+	// The side arm models the never-taken error path.
+	side.Insns = append(side.Insns, ir.Insn{Op: isa.OpALU, Def: b.f.NewReg(), Imm: b.tag()})
+	side.Term = ir.Term{Kind: ir.TermJump, Taken: main.ID}
+	b.cur.Term = ir.Term{Kind: ir.TermBranch, Taken: side.ID, Fall: main.ID,
+		Prob: 0, CondReg: cond, Guard: true, Site: b.site()}
+	b.cur = main
+}
+
+// Else switches building to the side arm of the innermost If.
+func (b *B) Else() {
+	if len(b.ifs) == 0 {
+		b.fail("Else without If")
+		return
+	}
+	ic := &b.ifs[len(b.ifs)-1]
+	if !ic.inMain {
+		b.fail("double Else")
+		return
+	}
+	join := b.newBlock()
+	ic.join = join.ID
+	b.cur.Term = ir.Term{Kind: ir.TermJump, Taken: join.ID}
+	b.cur = b.f.Blocks[ic.side]
+	ic.inMain = false
+	b.restore(ic.snap, ic.exprs)
+}
+
+// EndIf closes the innermost If/Else; building continues at the join.
+func (b *B) EndIf() {
+	if len(b.ifs) == 0 {
+		b.fail("EndIf without If")
+		return
+	}
+	ic := b.ifs[len(b.ifs)-1]
+	b.ifs = b.ifs[:len(b.ifs)-1]
+	if ic.inMain {
+		// If without Else: side arm is empty pass-through.
+		join := b.newBlock()
+		b.cur.Term = ir.Term{Kind: ir.TermFall, Fall: join.ID}
+		side := b.f.Blocks[ic.side]
+		side.Term = ir.Term{Kind: ir.TermJump, Taken: join.ID}
+		b.cur = join
+		b.restore(ic.snap, ic.exprs)
+		return
+	}
+	join := b.f.Blocks[ic.join]
+	b.cur.Term = ir.Term{Kind: ir.TermJump, Taken: join.ID}
+	b.cur = join
+	b.restore(ic.snap, ic.exprs)
+}
+
+// Ret ends the current function.
+func (b *B) Ret() {
+	b.cur.Term = ir.Term{Kind: ir.TermRet}
+}
+
+// LibFunc builds an opaque library function of roughly size straight-line
+// instructions with the given memory character; one call executes about
+// size dynamic instructions. Library code is never optimised, so programs
+// dominated by it have little optimisation headroom (the paper's qsort and
+// basicmath).
+func (b *B) LibFunc(name string, size int, kind ir.MemKind, wset int32) {
+	b.Func(name)
+	b.Library()
+	emitted := 0
+	for emitted < size {
+		b.ALU(4)
+		b.Shift(1)
+		emitted += 5
+		if kind != ir.MemNone && emitted%15 == 5 {
+			b.Load(name+"_data", kind, wset, 4)
+			b.ALU(2)
+			emitted += 3
+			if emitted%30 == 8 {
+				b.Store(name+"_data", kind, wset, 4)
+				emitted++
+			}
+		}
+	}
+	b.Ret()
+}
+
+// Build finalises the module: call targets are resolved and the IR is
+// verified.
+func (b *B) Build() (*ir.Module, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, fx := range b.fixups {
+		callee := b.m.FuncByName(fx.callee)
+		if callee == nil {
+			return nil, fmt.Errorf("prog %s: call to undefined function %q", b.m.Name, fx.callee)
+		}
+		b.m.Funcs[fx.funcID].Blocks[fx.block].Insns[fx.index].Callee = int32(callee.ID)
+	}
+	if err := b.m.Verify(); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}
+
+// MustBuild is Build panicking on error; program definitions are static,
+// so an error is a bug in the definition.
+func (b *B) MustBuild() *ir.Module {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

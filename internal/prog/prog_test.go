@@ -1,0 +1,183 @@
+package prog
+
+import (
+	"testing"
+
+	"portcc/internal/ir"
+	"portcc/internal/isa"
+)
+
+func TestAllProgramsBuildAndVerify(t *testing.T) {
+	if len(Names()) != 35 {
+		t.Fatalf("%d programs, the paper evaluates 35", len(Names()))
+	}
+	for _, name := range Names() {
+		m, err := Build(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if m.Name != name {
+			t.Errorf("%s: module named %q", name, m.Name)
+		}
+		if m.Funcs[m.Entry].Name != "main" {
+			t.Errorf("%s: entry function is %q, want main", name, m.Funcs[m.Entry].Name)
+		}
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	for _, name := range []string{"rijndael_e", "gs", "qsort", "fft"} {
+		a := MustBuild(name)
+		b := MustBuild(name)
+		if a.String() != b.String() {
+			t.Errorf("%s: two builds differ", name)
+		}
+	}
+}
+
+func TestUnknownProgram(t *testing.T) {
+	if _, err := Build("no_such_benchmark"); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestLibraryBoundPrograms(t *testing.T) {
+	// qsort and basicmath must be dominated by library functions the
+	// optimiser cannot touch (their Figure 4 headroom is ~zero).
+	for _, name := range []string{"qsort", "basicmath"} {
+		m := MustBuild(name)
+		libInsns, userInsns := 0, 0
+		for _, f := range m.Funcs {
+			if f.Library {
+				libInsns += f.Size()
+			} else {
+				userInsns += f.Size()
+			}
+		}
+		if libInsns < userInsns {
+			t.Errorf("%s: %d library vs %d user instructions - not library-bound",
+				name, libInsns, userInsns)
+		}
+	}
+}
+
+func TestRijndaelIsHandUnrolled(t *testing.T) {
+	m := MustBuild("rijndael_e")
+	cipher := m.FuncByName("cipher")
+	if cipher == nil {
+		t.Fatal("rijndael_e must have a cipher function")
+	}
+	// The hand-unrolled round code must be a multi-KB straight-line body
+	// (the paper's Section 5.2: extensive source-level unrolling).
+	if cipher.Size() < 800 {
+		t.Errorf("cipher has %d instructions; the hand-unrolled body should exceed 800", cipher.Size())
+	}
+	// And it must not contain counted inner loops for unrolling to target.
+	cipher.Analyze()
+	if len(cipher.Loops()) != 0 {
+		t.Error("hand-unrolled cipher should have no loops")
+	}
+}
+
+func TestProgramDiversity(t *testing.T) {
+	// Programs must differ in instruction mix: at least one MAC-heavy,
+	// one shift-heavy, one pointer-chasing, one guard-carrying.
+	counts := func(name string) (mac, shift, ptr, guard int) {
+		m := MustBuild(name)
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Insns {
+					switch b.Insns[i].Op {
+					case isa.OpMac, isa.OpMul:
+						mac++
+					case isa.OpShift:
+						shift++
+					case isa.OpLoad:
+						if b.Insns[i].Mem.Kind == ir.MemPointer {
+							ptr++
+						}
+					}
+				}
+				if b.Term.Guard {
+					guard++
+				}
+			}
+		}
+		return
+	}
+	if mac, _, _, _ := counts("lame"); mac < 10 {
+		t.Error("lame must be MAC-heavy")
+	}
+	if _, sh, _, _ := counts("sha"); sh < 50 {
+		t.Error("sha must be shift-heavy")
+	}
+	if _, _, ptr, _ := counts("patricia"); ptr == 0 {
+		t.Error("patricia must pointer-chase")
+	}
+	if _, _, _, g := counts("susan_s"); g == 0 {
+		t.Error("susan_s must carry border guards")
+	}
+}
+
+func TestStaticSizesSpanCacheRange(t *testing.T) {
+	// The suite must span footprints from well under 4K to several KB so
+	// the Table 2 cache range discriminates (see DESIGN.md).
+	smallest, largest := 1<<30, 0
+	for _, name := range Names() {
+		s := MustBuild(name).Size() * isa.InsnBytes
+		if s < smallest {
+			smallest = s
+		}
+		if s > largest {
+			largest = s
+		}
+	}
+	if smallest > 1024 {
+		t.Errorf("smallest program is %dB; need sub-1KB kernels", smallest)
+	}
+	if largest < 4096 {
+		t.Errorf("largest program is %dB; need >4KB footprints", largest)
+	}
+}
+
+func TestBuilderControlStructures(t *testing.T) {
+	b := NewB("t", 1)
+	b.Func("main")
+	b.Loop(4)
+	b.ALU(2)
+	b.If(0.3)
+	b.ALU(1)
+	b.Else()
+	b.Shift(1)
+	b.EndIf()
+	b.End()
+	b.Ret()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Funcs[0]
+	f.Analyze()
+	if len(f.Loops()) != 1 {
+		t.Errorf("%d loops, want 1", len(f.Loops()))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewB("t", 1)
+	b.Func("main")
+	b.Else() // without If
+	b.Ret()
+	if _, err := b.Build(); err == nil {
+		t.Error("Else without If accepted")
+	}
+
+	b2 := NewB("t2", 1)
+	b2.Func("main")
+	b2.Call("missing")
+	b2.Ret()
+	if _, err := b2.Build(); err == nil {
+		t.Error("call to undefined function accepted")
+	}
+}

@@ -1,0 +1,530 @@
+package prog
+
+import "portcc/internal/ir"
+
+// Audio, image and signal-processing benchmarks. Loop structure and
+// instruction mixes follow the published characterisations of the MiBench
+// consumer/telecomm suites: ADPCM is a tiny shift/ALU loop over streaming
+// samples, JPEG is MAC-heavy 8x8 block work with lookup tables, GSM is
+// MAC filter loops with in-memory accumulators, FFT is strided butterflies
+// with twiddle tables, SUSAN is windowed image scans with brightness LUTs.
+//
+// Each program is sized so one complete run executes roughly 15k-40k
+// dynamic instructions at -O3 (the statistical steady-state slice of the
+// >=100M-instruction MiBench runs), with static hot footprints spanning
+// ~0.3KB (rawcaudio) to several KB (madplay), so the paper's 4K-128K
+// instruction-cache range genuinely discriminates between them.
+
+// buildRawcaudio models adpcm rawcaudio (encode): one tiny data-dependent
+// loop, almost no optimisation headroom (Figure 4's near-1.0 group).
+func buildRawcaudio() *B {
+	b := NewB("rawcaudio", seedFor("rawcaudio"))
+	b.Func("main")
+	b.LoopP(1400)
+	{
+		b.Load("pcm", ir.MemSeq, wHuge, 4)
+		b.ALU(4)
+		b.Shift(3)
+		b.If(0.42) // step-size adaptation
+		b.ALU(2)
+		b.Else()
+		b.ALU(3)
+		b.Shift(1)
+		b.EndIf()
+		b.ALU(3)
+		b.Shift(2)
+		b.Store("adpcm", ir.MemSeq, wLarge, 4)
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildRawdaudio models adpcm rawdaudio (decode): like the encoder with a
+// step table lookup.
+func buildRawdaudio() *B {
+	b := NewB("rawdaudio", seedFor("rawdaudio"))
+	b.Func("main")
+	b.LoopP(1500)
+	{
+		b.Load("adpcm", ir.MemSeq, wLarge, 4)
+		b.Shift(2)
+		b.LoadTable("steptab", wTiny)
+		b.ALU(4)
+		b.If(0.38)
+		b.ALU(2)
+		b.EndIf()
+		b.ALU(2)
+		b.Store("pcm", ir.MemSeq, wHuge, 4)
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildTiff2rgba models tiff2rgba: a streaming pixel-expansion pass over a
+// large image; redundant per-pixel address arithmetic gives CSE headroom
+// and the counted inner loop gives unrolling headroom.
+func buildTiff2rgba() *B {
+	b := NewB("tiff2rgba", seedFor("tiff2rgba"))
+	b.Func("main")
+	b.Loop(24) // row strips
+	{
+		b.ALU(4)
+		b.Loop(64) // columns
+		{
+			b.IndexedLoad("src", wHuge, 4)
+			b.Redundant(2)
+			b.ALU(3)
+			b.Shift(1)
+			b.Store("dst", ir.MemSeq, wHuge, 4)
+			b.Store("dst", ir.MemSeq, wHuge, 4)
+		}
+		b.End()
+		b.ALU(2)
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildDjpeg models djpeg: a branchy entropy-decode section feeding
+// 8-iteration IDCT loops (rows and columns) with MAC chains and
+// dequantisation tables - classic unrolling and scheduling headroom.
+func buildDjpeg() *B {
+	b := NewB("djpeg", seedFor("djpeg"))
+	b.Func("main")
+	b.Loop(42) // blocks
+	{
+		// Huffman-style decode: branchy straight-line code.
+		b.Load("bits", ir.MemSeq, wLarge, 4)
+		b.Shift(2)
+		b.If(0.4)
+		b.LoadTable("hufftab", wSmall)
+		b.ALU(4)
+		b.Else()
+		b.ALU(3)
+		b.Shift(1)
+		b.EndIf()
+		b.ALU(3)
+		b.Call("idct")
+		b.Loop(16) // colour conversion over the block
+		{
+			b.Load("coef", ir.MemSeq, wMedium, 4)
+			b.LoadTable("cconv", wSmall)
+			b.ALU(3)
+			b.Shift(1)
+			b.Store("pix", ir.MemSeq, wHuge, 4)
+		}
+		b.End()
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("idct")
+	b.Loop(8) // row pass
+	{
+		b.IndexedLoad("blk", wTiny, 4)
+		b.LoadTable("quant", wSmall)
+		b.Mac(4)
+		b.Shift(2)
+		b.ALU(3)
+		b.Store("blk", ir.MemSeq, wTiny, 4)
+	}
+	b.End()
+	b.Loop(8) // column pass
+	{
+		b.Load("blk", ir.MemStrided, wTiny, 32)
+		b.Mac(4)
+		b.Shift(2)
+		b.ALU(3)
+		b.Redundant(2)
+		b.Store("blk", ir.MemStrided, wTiny, 32)
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildCjpeg models cjpeg: forward DCT plus quantisation (multiply+shift
+// chains), slightly heavier on the MAC unit than djpeg.
+func buildCjpeg() *B {
+	b := NewB("cjpeg", seedFor("cjpeg"))
+	b.Func("main")
+	b.Loop(45)
+	{
+		b.Loop(16) // downsample + colour convert
+		{
+			b.Load("pix", ir.MemSeq, wHuge, 4)
+			b.Mul(2)
+			b.ALU(3)
+			b.Shift(1)
+			b.Store("blk", ir.MemSeq, wTiny, 4)
+		}
+		b.End()
+		b.Call("fdct")
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("fdct")
+	b.Loop(8)
+	{
+		b.IndexedLoad("blk", wTiny, 4)
+		b.Mac(5)
+		b.ALU(4)
+		b.Shift(2)
+		b.Store("blk", ir.MemSeq, wTiny, 4)
+	}
+	b.End()
+	b.Loop(8)
+	{
+		b.Load("blk", ir.MemStrided, wTiny, 32)
+		b.Mac(5)
+		b.Shift(3)
+		b.LoadTable("qtab", wSmall)
+		b.Mul(1)
+		b.Shift(1)
+		b.Store("coef", ir.MemSeq, wMedium, 4)
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildLame models lame: long MAC-dominated MDCT/psychoacoustic loops over
+// large buffers, with helper functions at the inlining margin and big
+// scheduling headroom from MAC latency.
+func buildLame() *B {
+	b := NewB("lame", seedFor("lame"))
+	b.Func("main")
+	b.Loop(26) // granules
+	{
+		b.Call("mdct")
+		b.Call("psycho")
+		b.ALU(6)
+		b.Store("out", ir.MemSeq, wLarge, 4)
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("mdct")
+	b.Loop(32)
+	{
+		b.Load("pcm", ir.MemStrided, 16<<10, 64)
+		b.LoadTable("win", wSmall)
+		b.Mac(6)
+		b.ALU(2)
+		b.Store("spec", ir.MemSeq, 16<<10, 4)
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("psycho")
+	b.Loop(18)
+	{
+		b.Load("spec", ir.MemSeq, 16<<10, 4)
+		b.Mac(4)
+		b.Redundant(2)
+		b.ALU(4)
+		b.ScalarAcc("energy")
+	}
+	b.End()
+	b.If(0.3)
+	b.ALU(8)
+	b.EndIf()
+	b.Ret()
+	return b
+}
+
+// buildMadplay models madplay: fixed-point subband synthesis with a large
+// hand-unrolled dewindow block; its code size sits right at the
+// small-I-cache boundary, which is why the paper's Figure 1 shows its best
+// passes changing across microarchitectures A/B/C.
+func buildMadplay() *B {
+	b := NewB("madplay", seedFor("madplay"))
+	b.Func("main")
+	b.Loop(20) // frames
+	{
+		b.Call("synth")
+		b.ALU(4)
+		b.Store("pcm", ir.MemSeq, wHuge, 4)
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("synth")
+	b.Loop(32) // subband filter
+	{
+		b.Load("sb", ir.MemStrided, 8<<10, 128)
+		b.LoadTable("dcoef", wSmall)
+		b.Mac(6)
+		b.Shift(2)
+		b.ALU(2)
+		b.Store("v", ir.MemSeq, 8<<10, 4)
+	}
+	b.End()
+	// Hand-unrolled dewindowing: ~3KB of straight-line MAC code, putting
+	// the synthesis path right at the small-I-cache boundary.
+	for i := 0; i < 100; i++ {
+		b.Load("v", ir.MemStrided, 8<<10, 64)
+		b.LoadTable("dcoef", wSmall)
+		b.Mac(3)
+		b.ALU(2)
+		b.Shift(1)
+	}
+	b.Store("pcmw", ir.MemSeq, wMedium, 4)
+	b.Ret()
+	return b
+}
+
+// buildToast models toast (GSM encode): LTP correlation loops with
+// in-memory accumulators (store-motion headroom), MAC chains and a branchy
+// quantiser.
+func buildToast() *B {
+	b := NewB("toast", seedFor("toast"))
+	b.Func("main")
+	b.Loop(34) // frames
+	{
+		b.Call("ltp")
+		b.Call("rpe")
+		b.Store("bits", ir.MemSeq, wLarge, 4)
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("ltp")
+	b.Loop(40)
+	{
+		b.Load("d", ir.MemSeq, wMedium, 4)
+		b.Load("dp", ir.MemStrided, wMedium, 8)
+		b.Mac(4)
+		b.ScalarAcc("ltpacc")
+	}
+	b.End()
+	b.If(0.35) // lag clamp
+	b.ALU(3)
+	b.EndIf()
+	b.Ret()
+
+	b.Func("rpe")
+	b.Loop(13)
+	{
+		b.Load("e", ir.MemSeq, wTiny, 4)
+		b.Mac(2)
+		b.Shift(2)
+		b.ALU(3)
+		b.ScalarAcc("rpeacc")
+		b.Store("xm", ir.MemSeq, wTiny, 4)
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildUntoast models untoast (GSM decode): shorter filter loops than the
+// encoder, still accumulator-based.
+func buildUntoast() *B {
+	b := NewB("untoast", seedFor("untoast"))
+	b.Func("main")
+	b.Loop(40)
+	{
+		b.Call("inverse")
+		b.Store("pcm", ir.MemSeq, wHuge, 4)
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("inverse")
+	b.Loop(13)
+	{
+		b.Load("bits", ir.MemSeq, wLarge, 4)
+		b.Shift(2)
+		b.LoadTable("fac", wTiny)
+		b.Mac(2)
+		b.ScalarAcc("dec")
+		b.Store("erp", ir.MemSeq, wTiny, 4)
+	}
+	b.End()
+	b.Loop(40) // short-term synthesis
+	{
+		b.Load("erp", ir.MemSeq, wTiny, 4)
+		b.Mac(3)
+		b.ALU(2)
+		b.Store("sr", ir.MemSeq, wMedium, 4)
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildFft models fft: radix-2 butterflies with strided accesses, twiddle
+// tables and induction-variable multiplies (strength-reduction fodder).
+func buildFft() *B {
+	b := NewB("fft", seedFor("fft"))
+	return fftCommon(b)
+}
+
+// buildFftI models fft_i (inverse FFT): the same structure with an extra
+// scaling pass.
+func buildFftI() *B {
+	b := NewB("fft_i", seedFor("fft_i"))
+	return fftCommon(b)
+}
+
+func fftCommon(b *B) *B {
+	b.Func("main")
+	b.Loop(10) // log2(N) stages
+	{
+		b.ALU(4)
+		b.Loop(80) // butterflies per stage
+		{
+			b.IndexedLoad("re", 8<<10, 8)
+			b.Load("im", ir.MemStrided, 8<<10, 64)
+			b.LoadTable("twiddle", wSmall)
+			b.Mac(4)
+			b.ALU(4)
+			b.Shift(2)
+			b.Store("re", ir.MemStrided, 8<<10, 64)
+			b.Store("im", ir.MemStrided, 8<<10, 64)
+		}
+		b.End()
+	}
+	b.End()
+	if b.m.Name == "fft_i" {
+		b.Loop(256) // inverse scaling pass
+		{
+			b.Load("re", ir.MemSeq, 8<<10, 4)
+			b.Shift(1)
+			b.Store("re", ir.MemSeq, 8<<10, 4)
+		}
+		b.End()
+	}
+	b.Ret()
+	return b
+}
+
+// buildSusanS models susan smoothing: 3x3 windowed scans with a brightness
+// LUT, heavy redundant addressing (CSE) and counted mask loops (unroll).
+func buildSusanS() *B {
+	b := NewB("susan_s", seedFor("susan_s"))
+	b.Func("main")
+	b.Loop(26) // rows
+	{
+		b.Loop(80) // columns
+		{
+			b.Guard() // border check, provably in range
+			b.IndexedLoad("img", wHuge, 4)
+			b.Redundant(3)
+			b.LoadTable("blut", wTiny)
+			b.Mac(2)
+			b.ALU(4)
+			b.Store("out", ir.MemSeq, wHuge, 4)
+		}
+		b.End()
+		b.ALU(3)
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildSusanC models susan corners: the smoothing scan plus a branchy
+// classifier and an in-memory corner counter (store-motion headroom).
+func buildSusanC() *B {
+	b := NewB("susan_c", seedFor("susan_c"))
+	b.Func("main")
+	b.Loop(24)
+	{
+		b.Loop(80)
+		{
+			b.Guard()
+			b.IndexedLoad("img", wHuge, 4)
+			b.LoadTable("blut", wTiny)
+			b.Redundant(2)
+			b.ALU(3)
+			b.If(0.18) // USAN threshold
+			b.ALU(4)
+			b.ScalarAcc("corners")
+			b.Store("cand", ir.MemRandom, wMedium, 4)
+			b.EndIf()
+		}
+		b.End()
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildSusanE models susan edges: like corners with a direction pass; the
+// paper reports the model reaching over 95% of the maximum here.
+func buildSusanE() *B {
+	b := NewB("susan_e", seedFor("susan_e"))
+	b.Func("main")
+	b.Loop(24)
+	{
+		b.Loop(80)
+		{
+			b.Guard()
+			b.IndexedLoad("img", wHuge, 4)
+			b.LoadTable("blut", wTiny)
+			b.Redundant(3)
+			b.Mac(1)
+			b.ALU(3)
+			b.If(0.22)
+			b.Shift(2)
+			b.ALU(3)
+			b.Store("edge", ir.MemSeq, wHuge, 4)
+			b.EndIf()
+		}
+		b.End()
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildSay models say (rsynth): phoneme dispatch over many small helper
+// functions plus fixed-point filter loops; in the paper's Figure 8 its
+// behaviour is dominated by the inlining flags.
+func buildSay() *B {
+	b := NewB("say", seedFor("say"))
+	b.Func("main")
+	b.LoopP(100) // phonemes
+	{
+		b.Load("text", ir.MemSeq, wMedium, 4)
+		b.If(0.45)
+		b.Call("vowel")
+		b.Else()
+		b.Call("consonant")
+		b.EndIf()
+		b.Call("filter")
+		b.Store("audio", ir.MemSeq, wHuge, 4)
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("vowel")
+	b.LoadTable("ftab", wSmall)
+	b.ALU(10)
+	b.Shift(2)
+	b.Ret()
+
+	b.Func("consonant")
+	b.LoadTable("ftab", wSmall)
+	b.ALU(8)
+	b.Shift(3)
+	b.Ret()
+
+	b.Func("filter")
+	b.Loop(24)
+	{
+		b.Load("state", ir.MemSeq, wTiny, 4)
+		b.Mac(3)
+		b.ALU(2)
+		b.Store("state", ir.MemSeq, wTiny, 4)
+	}
+	b.End()
+	b.Ret()
+	return b
+}

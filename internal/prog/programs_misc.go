@@ -1,0 +1,455 @@
+package prog
+
+import "portcc/internal/ir"
+
+// Office, network and automotive benchmarks. qsort and basicmath spend
+// nearly all their time in opaque library code (libc qsort, libm), which
+// the compiler cannot optimise - the paper's Figure 4 shows them with
+// almost no headroom. gs and search carry large amounts of user code whose
+// inlining behaviour dominates; patricia and dijkstra are pointer-chasing
+// and memory bound.
+
+// buildQsort models qsort: the sort comparator and memory shuffling live
+// in library code; the program's own code is a thin driver.
+func buildQsort() *B {
+	b := NewB("qsort", seedFor("qsort"))
+	b.Func("main")
+	b.LoopP(190)
+	{
+		b.Load("keys", ir.MemRandom, wMedium, 4)
+		b.ALU(3)
+		b.Call("libqsort_cmp")
+		b.ALU(2)
+		b.If(0.5)
+		b.Call("libmemswap")
+		b.EndIf()
+	}
+	b.End()
+	b.Ret()
+	b.LibFunc("libqsort_cmp", 60, ir.MemRandom, wMedium)
+	b.LibFunc("libmemswap", 50, ir.MemRandom, wMedium)
+	return b
+}
+
+// buildBasicmath models basicmath: cubic/sqrt/angle kernels inside libm,
+// called from a trivial driver loop - nearly zero compiler headroom.
+func buildBasicmath() *B {
+	b := NewB("basicmath", seedFor("basicmath"))
+	b.Func("main")
+	b.Loop(105)
+	{
+		b.ALU(3)
+		b.Call("libm_cbrt")
+		b.Call("libm_sqrt")
+		b.ALU(2)
+		b.Store("res", ir.MemSeq, wMedium, 4)
+	}
+	b.End()
+	b.Ret()
+	b.LibFunc("libm_cbrt", 150, ir.MemNone, 0)
+	b.LibFunc("libm_sqrt", 100, ir.MemNone, 0)
+	return b
+}
+
+// buildGs models gs (ghostscript): a large interpreter - branchy dispatch
+// over several mid-sized operator handlers. Its ~6KB hot footprint makes
+// every code-size decision strongly microarchitecture-dependent.
+func buildGs() *B {
+	b := NewB("gs", seedFor("gs"))
+	b.Func("main")
+	b.LoopP(30) // token loop
+	{
+		b.Load("prog", ir.MemSeq, wLarge, 4)
+		b.Shift(1)
+		b.If(0.30)
+		b.Call("op_path")
+		b.Else()
+		b.ALU(2)
+		b.EndIf()
+		b.If(0.25)
+		b.Call("op_fill")
+		b.Else()
+		b.ALU(2)
+		b.EndIf()
+		b.If(0.20)
+		b.Call("op_image")
+		b.EndIf()
+		b.Call("op_stack")
+	}
+	b.End()
+	b.Ret()
+
+	handler := func(name string, blocks int, kind ir.MemKind) {
+		b.Func(name)
+		b.Guard()
+		for i := 0; i < blocks; i++ {
+			b.Load("gstate", kind, wMedium, 4)
+			b.ALU(6)
+			b.Shift(1)
+			b.If(0.35)
+			b.ALU(4)
+			b.Redundant(2)
+			b.Else()
+			b.ALU(3)
+			b.EndIf()
+			b.Store("gstate", kind, wMedium, 4)
+		}
+		b.Ret()
+	}
+	handler("op_path", 24, ir.MemRandom)
+	handler("op_fill", 30, ir.MemSeq)
+	handler("op_image", 36, ir.MemRandom)
+	handler("op_stack", 10, ir.MemStack)
+	return b
+}
+
+// buildPatricia models patricia: trie traversal - serialised pointer
+// chasing with unpredictable branches, memory bound with little headroom
+// for anything except layout.
+func buildPatricia() *B {
+	b := NewB("patricia", seedFor("patricia"))
+	b.Func("main")
+	b.LoopP(190) // lookups
+	{
+		b.Load("addr", ir.MemSeq, wLarge, 4)
+		b.LoopP(11) // trie depth
+		{
+			b.PtrLoad("trie", wMedium)
+			b.Shift(1)
+			b.ALU(2)
+			b.If(0.5)
+			b.ALU(1)
+			b.EndIf()
+		}
+		b.End()
+		b.If(0.3) // insert path
+		b.ALU(5)
+		b.Store("trie", ir.MemRandom, wMedium, 4)
+		b.EndIf()
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildLout models lout: a document formatter - many small string/layout
+// helpers called from branchy loops, moderate redundancy from repeated
+// metric computations.
+func buildLout() *B {
+	b := NewB("lout", seedFor("lout"))
+	b.Func("main")
+	b.LoopP(160) // objects
+	{
+		b.Load("doc", ir.MemSeq, wLarge, 4)
+		b.If(0.4)
+		b.Call("width")
+		b.Else()
+		b.Call("height")
+		b.EndIf()
+		b.Call("metrics")
+		b.If(0.15)
+		b.Call("break_line")
+		b.EndIf()
+		b.Store("laid", ir.MemSeq, wLarge, 4)
+	}
+	b.End()
+	b.Ret()
+
+	small := func(name string, n int) {
+		b.Func(name)
+		b.LoadTable("fontm", wSmall)
+		b.ALU(n)
+		b.Redundant(2)
+		b.Shift(1)
+		b.Ret()
+	}
+	small("width", 8)
+	small("height", 7)
+	small("metrics", 12)
+
+	b.Func("break_line")
+	b.LoopP(6)
+	{
+		b.Load("words", ir.MemSeq, wMedium, 4)
+		b.ALU(6)
+		b.If(0.4)
+		b.ALU(3)
+		b.EndIf()
+	}
+	b.End()
+	// Justification pass calls metrics again (second inline site).
+	b.Call("metrics")
+	b.Ret()
+	return b
+}
+
+// buildTiffmedian models tiffmedian: histogram construction (random
+// read-modify-write) followed by counted reduction scans with an in-memory
+// accumulator.
+func buildTiffmedian() *B {
+	b := NewB("tiffmedian", seedFor("tiffmedian"))
+	b.Func("main")
+	b.Loop(2400) // pixels per tile
+	{
+		b.Load("img", ir.MemSeq, wHuge, 4)
+		b.Shift(2)
+		b.ALU(2)
+		b.Load("hist", ir.MemRandom, wMedium, 4)
+		b.ALU(1)
+		b.Store("hist", ir.MemRandom, wMedium, 4)
+	}
+	b.End()
+	b.Loop(512) // median scan
+	{
+		b.Load("hist", ir.MemSeq, wMedium, 4)
+		b.ScalarAcc("running")
+		b.If(0.1)
+		b.ALU(2)
+		b.EndIf()
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildIspell models ispell: hash-and-probe dictionary lookups through
+// small helper functions; the paper's Figure 8 shows the inlining flags
+// dominating ispell.
+func buildIspell() *B {
+	b := NewB("ispell", seedFor("ispell"))
+	b.Func("main")
+	b.LoopP(170) // words
+	{
+		b.Load("text", ir.MemSeq, wLarge, 4)
+		b.Call("hash")
+		b.Call("probe")
+		b.If(0.25) // not found: try affixes
+		b.Call("affix")
+		b.Call("probe")
+		b.EndIf()
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("hash")
+	b.LoopP(5) // characters
+	{
+		b.Load("word", ir.MemSeq, wTiny, 4)
+		b.Mul(1)
+		b.ALU(2)
+		b.Shift(1)
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("probe")
+	b.Load("dict", ir.MemRandom, wMedium, 4)
+	b.ALU(4)
+	b.If(0.5)
+	b.Load("dict", ir.MemRandom, wMedium, 4)
+	b.ALU(3)
+	b.EndIf()
+	b.Ret()
+
+	b.Func("affix")
+	b.LoadTable("afxtab", wSmall)
+	b.ALU(6)
+	b.Shift(2)
+	b.Ret()
+	return b
+}
+
+// buildTiffdither models tiffdither: Floyd-Steinberg error diffusion - a
+// counted pixel loop with neighbour stores and an error accumulator.
+func buildTiffdither() *B {
+	b := NewB("tiffdither", seedFor("tiffdither"))
+	b.Func("main")
+	b.Loop(20) // rows
+	{
+		b.Loop(64) // columns
+		{
+			b.Load("img", ir.MemSeq, wHuge, 4)
+			b.ScalarAcc("err")
+			b.ALU(3)
+			b.Shift(2)
+			b.If(0.5) // threshold
+			b.ALU(1)
+			b.EndIf()
+			b.Store("out", ir.MemSeq, wHuge, 4)
+			b.Store("errrow", ir.MemSeq, wMedium, 4)
+		}
+		b.End()
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildTiff2bw models tiff2bw: per-pixel luma reduction - three streaming
+// loads, two multiplies, one store; almost pure streaming.
+func buildTiff2bw() *B {
+	b := NewB("tiff2bw", seedFor("tiff2bw"))
+	b.Func("main")
+	b.Loop(28)
+	{
+		b.Loop(64)
+		{
+			b.Load("r", ir.MemSeq, wHuge, 4)
+			b.Load("g", ir.MemSeq, wHuge, 4)
+			b.Load("bch", ir.MemSeq, wHuge, 4)
+			b.Mul(2)
+			b.ALU(2)
+			b.Shift(1)
+			b.Store("gray", ir.MemSeq, wHuge, 4)
+		}
+		b.End()
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildDijkstra models dijkstra: relaxation over an adjacency structure -
+// dependent loads and unpredictable comparisons, with a small counted
+// inner loop over neighbours.
+func buildDijkstra() *B {
+	b := NewB("dijkstra", seedFor("dijkstra"))
+	b.Func("main")
+	b.LoopP(320) // queue pops
+	{
+		b.PtrLoad("queue", wMedium)
+		b.ALU(2)
+		b.Loop(4) // neighbours
+		{
+			b.Load("adj", ir.MemRandom, wMedium, 4)
+			b.Load("dist", ir.MemRandom, 16<<10, 4)
+			b.ALU(3)
+			b.If(0.35) // relaxation applies
+			b.Store("dist", ir.MemRandom, 16<<10, 4)
+			b.ALU(2)
+			b.EndIf()
+		}
+		b.End()
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildBitcnts models bitcnts: a driver loop over tiny bit-counting
+// kernels; inlining plus unrolling the counted 8-iteration loops is nearly
+// the whole story.
+func buildBitcnts() *B {
+	b := NewB("bitcnts", seedFor("bitcnts"))
+	b.Func("main")
+	b.Loop(260)
+	{
+		b.Load("rand", ir.MemSeq, wMedium, 4)
+		b.Call("cnt_shift")
+		b.Call("cnt_table")
+		b.Call("cnt_nibble")
+		b.ALU(2)
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("cnt_shift")
+	b.Loop(8)
+	{
+		b.Shift(1)
+		b.ALU(2)
+	}
+	b.End()
+	b.Ret()
+
+	b.Func("cnt_table")
+	b.Shift(1)
+	b.LoadTable("bittab", wTiny)
+	b.Shift(1)
+	b.LoadTable("bittab", wTiny)
+	b.ALU(2)
+	b.Ret()
+
+	b.Func("cnt_nibble")
+	b.Loop(8)
+	{
+		b.Shift(1)
+		b.ALU(1)
+		b.LoadTable("niptab", wTiny)
+		b.ALU(1)
+	}
+	b.End()
+	b.Ret()
+	return b
+}
+
+// buildSearch models search (stringsearch): Boyer-Moore-Horspool over
+// several patterns. The pattern matchers share a sizeable compare kernel
+// called from eight sites; -O3 inlines it everywhere, multiplying the hot
+// footprint several-fold and thrashing small instruction caches.
+// Disabling inlining and unrolling the counted compare loop instead gives
+// the paper's largest average headroom (about 2.2x).
+func buildSearch() *B {
+	b := NewB("search", seedFor("search"))
+	b.Func("main")
+	b.LoopP(85) // text windows
+	{
+		b.Load("text", ir.MemSeq, wLarge, 4)
+		b.LoadTable("skip", wTiny)
+		b.ALU(2)
+		b.If(0.5)
+		b.Call("match_a")
+		b.Else()
+		b.Call("match_b")
+		b.EndIf()
+		b.If(0.5)
+		b.Call("match_c")
+		b.Else()
+		b.Call("match_d")
+		b.EndIf()
+	}
+	b.End()
+	b.Ret()
+
+	// Shared compare kernel: straight-line skip computation plus a
+	// counted tail-compare loop. Static ~75 instructions: inlineable at
+	// -O3's 120-instruction threshold, from 8 call sites.
+	b.Func("cmploop")
+	b.LoadTable("skip", wTiny)
+	b.ALU(12)
+	b.Shift(2)
+	b.Redundant(3)
+	b.ALU(10)
+	b.Loop(8) // counted tail compare (unrolling fodder)
+	{
+		b.Load("text", ir.MemSeq, wLarge, 4)
+		b.Load("pat", ir.MemSeq, wTiny, 4)
+		b.ALU(3)
+	}
+	b.End()
+	b.ALU(12)
+	b.Shift(2)
+	b.Redundant(3)
+	b.ALU(8)
+	b.Ret()
+
+	matcher := func(name string) {
+		b.Func(name)
+		b.ALU(5)
+		b.If(0.5)
+		b.Call("cmploop")
+		b.Else()
+		b.ALU(2)
+		b.Call("cmploop")
+		b.EndIf()
+		b.If(0.08) // full verify on candidate
+		b.ALU(6)
+		b.EndIf()
+		b.Ret()
+	}
+	matcher("match_a")
+	matcher("match_b")
+	matcher("match_c")
+	matcher("match_d")
+	return b
+}

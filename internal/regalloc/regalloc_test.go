@@ -1,0 +1,162 @@
+package regalloc
+
+import (
+	"testing"
+
+	"portcc/internal/ir"
+	"portcc/internal/isa"
+	"portcc/internal/prog"
+)
+
+// allRegsPhysical checks every operand is a physical register (<= 12).
+func allRegsPhysical(t *testing.T, f *ir.Func) {
+	t.Helper()
+	for _, b := range f.Blocks {
+		for i := range b.Insns {
+			in := &b.Insns[i]
+			if int(in.Def) > int(isa.AllocatableRegs) {
+				t.Fatalf("%s b%d i%d: def v%d not physical", f.Name, b.ID, i, in.Def)
+			}
+			for _, u := range in.Use {
+				if int(u) > int(isa.AllocatableRegs) {
+					t.Fatalf("%s b%d i%d: use v%d not physical", f.Name, b.ID, i, u)
+				}
+			}
+		}
+		if int(b.Term.CondReg) > int(isa.AllocatableRegs) {
+			t.Fatalf("%s b%d: cond v%d not physical", f.Name, b.ID, b.Term.CondReg)
+		}
+	}
+}
+
+func TestAllocatesAllBenchmarks(t *testing.T) {
+	for _, name := range prog.Names() {
+		m := prog.MustBuild(name).Clone()
+		for _, f := range m.Funcs {
+			Allocate(f, f.ID, Options{})
+			allRegsPhysical(t, f)
+		}
+	}
+}
+
+func TestSpillsUnderPressure(t *testing.T) {
+	// 30 simultaneously-live values cannot fit in 10 registers.
+	f := &ir.Func{Name: "hot", NextReg: 1}
+	blk := &ir.Block{ID: 0}
+	f.Blocks = []*ir.Block{blk}
+	var regs []ir.Reg
+	for i := 0; i < 30; i++ {
+		r := f.NewReg()
+		regs = append(regs, r)
+		blk.Insns = append(blk.Insns, ir.Insn{Op: isa.OpALU, Def: r, Imm: int32(i)})
+	}
+	for _, r := range regs {
+		blk.Insns = append(blk.Insns, ir.Insn{Op: isa.OpStore, Use: [2]ir.Reg{r},
+			Mem: ir.MemRef{Stream: 1, Kind: ir.MemSeq, WSet: 256, Stride: 4}})
+	}
+	blk.Term = ir.Term{Kind: ir.TermRet}
+	Allocate(f, 0, Options{})
+	allRegsPhysical(t, f)
+	spills := 0
+	for _, in := range blk.Insns {
+		if in.HasFlag(ir.FlagSpill) {
+			spills++
+		}
+	}
+	if spills == 0 {
+		t.Error("30 overlapping live ranges allocated without spilling")
+	}
+	if f.FrameSize == 0 {
+		t.Error("spills must consume frame space")
+	}
+}
+
+func TestPrologueEpilogueBalance(t *testing.T) {
+	m := prog.MustBuild("gs").Clone()
+	for _, f := range m.Funcs {
+		Allocate(f, f.ID, Options{})
+		saves := map[ir.Reg]int{}
+		for i := range f.Blocks[0].Insns {
+			in := &f.Blocks[0].Insns[i]
+			if in.HasFlag(ir.FlagPrologue) && in.Op == isa.OpStore {
+				saves[in.Use[0]]++
+			}
+		}
+		// Each ret block must restore exactly the saved set.
+		for _, b := range f.Blocks {
+			if b.Term.Kind != ir.TermRet {
+				continue
+			}
+			restores := map[ir.Reg]int{}
+			for i := range b.Insns {
+				in := &b.Insns[i]
+				if in.HasFlag(ir.FlagPrologue) && in.Op == isa.OpLoad {
+					restores[in.Def]++
+				}
+			}
+			if len(restores) != len(saves) {
+				t.Errorf("%s b%d: %d restores for %d saves", f.Name, b.ID, len(restores), len(saves))
+			}
+		}
+	}
+}
+
+func TestCallerSavesInsertsPairs(t *testing.T) {
+	// A value live across many calls, with caller-saves enabled and the
+	// callee-saved pool exhausted by longer-lived values.
+	f := &ir.Func{Name: "cs", NextReg: 1}
+	blk := &ir.Block{ID: 0}
+	f.Blocks = []*ir.Block{blk}
+	// Seven long-lived call-crossing values exhaust the callee pool (6).
+	var long []ir.Reg
+	for i := 0; i < 7; i++ {
+		r := f.NewReg()
+		long = append(long, r)
+		blk.Insns = append(blk.Insns, ir.Insn{Op: isa.OpALU, Def: r, Imm: int32(i)})
+	}
+	blk.Insns = append(blk.Insns, ir.Insn{Op: isa.OpCall, Callee: 1})
+	blk.Insns = append(blk.Insns, ir.Insn{Op: isa.OpCall, Callee: 1})
+	for _, r := range long {
+		blk.Insns = append(blk.Insns, ir.Insn{Op: isa.OpStore, Use: [2]ir.Reg{r},
+			Mem: ir.MemRef{Stream: 1, Kind: ir.MemSeq, WSet: 256, Stride: 4}})
+	}
+	blk.Term = ir.Term{Kind: ir.TermRet}
+
+	with := f.Clone()
+	Allocate(with, 0, Options{CallerSaves: true})
+	countFlag := func(f *ir.Func, flag ir.Flags) int {
+		n := 0
+		for _, b := range f.Blocks {
+			for i := range b.Insns {
+				if b.Insns[i].HasFlag(flag) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	without := f.Clone()
+	Allocate(without, 0, Options{CallerSaves: false})
+	// With caller-saves either save/restore pairs appear or nothing
+	// changes; without it, the overflow value must spill instead.
+	saves := countFlag(with, ir.FlagSave)
+	spillsWithout := countFlag(without, ir.FlagSpill)
+	if saves == 0 && spillsWithout == 0 {
+		t.Error("neither caller-saves pairs nor spills: pressure model broken")
+	}
+	if saves > 0 && saves%2 != 0 {
+		t.Errorf("%d save/restore instructions: must come in pairs", saves)
+	}
+}
+
+func TestDeterministicAllocation(t *testing.T) {
+	a := prog.MustBuild("toast").Clone()
+	b := prog.MustBuild("toast").Clone()
+	for i := range a.Funcs {
+		Allocate(a.Funcs[i], i, Options{CallerSaves: true})
+		Allocate(b.Funcs[i], i, Options{CallerSaves: true})
+	}
+	if a.String() != b.String() {
+		t.Error("register allocation is not deterministic")
+	}
+}

@@ -1,0 +1,166 @@
+// Package search implements the iterative-compilation baselines the paper
+// compares against: uniform random search (the paper's "Best" upper bound,
+// Section 4.3, 1000 evaluations), hill climbing [2] and a genetic
+// algorithm [24]. Each explores the optimisation space by repeatedly
+// evaluating candidate settings through a caller-supplied objective.
+package search
+
+import (
+	"math/rand"
+
+	"portcc/internal/opt"
+)
+
+// Objective evaluates a configuration and returns its speedup over the
+// baseline (higher is better). Evaluations are expensive (a compile plus a
+// run), which is exactly why the paper's model matters.
+type Objective func(*opt.Config) float64
+
+// Result traces a search: the best configuration found, its score, and the
+// best-so-far curve (one entry per evaluation) used for the paper's
+// "iterations to match the model" comparison in Section 5.3.
+type Result struct {
+	Best      opt.Config
+	BestScore float64
+	Curve     []float64
+	Evals     int
+}
+
+// Random performs uniform random sampling of the space with n evaluations,
+// the protocol behind the paper's upper bound.
+func Random(obj Objective, n int, rng *rand.Rand) Result {
+	res := Result{BestScore: -1}
+	for i := 0; i < n; i++ {
+		c := opt.Random(rng)
+		s := obj(&c)
+		if s > res.BestScore {
+			res.BestScore = s
+			res.Best = c
+		}
+		res.Curve = append(res.Curve, res.BestScore)
+	}
+	res.Evals = n
+	return res
+}
+
+// HillClimb runs restarted first-improvement hill climbing: from a random
+// point, single-dimension mutations are accepted when they improve the
+// objective; on local optima it restarts. n bounds total evaluations.
+func HillClimb(obj Objective, n int, rng *rand.Rand) Result {
+	res := Result{BestScore: -1}
+	evals := 0
+	record := func(c *opt.Config, s float64) {
+		if s > res.BestScore {
+			res.BestScore = s
+			res.Best = *c
+		}
+		res.Curve = append(res.Curve, res.BestScore)
+		evals++
+	}
+	for evals < n {
+		cur := opt.Random(rng)
+		curScore := obj(&cur)
+		record(&cur, curScore)
+		stuck := 0
+		for evals < n && stuck < 2*opt.NumDims {
+			d := rng.Intn(opt.NumDims)
+			v := rng.Intn(opt.DimSize(d))
+			if v == cur.Value(d) {
+				v = (v + 1) % opt.DimSize(d)
+			}
+			cand := cur
+			cand.SetValue(d, v)
+			s := obj(&cand)
+			record(&cand, s)
+			if s > curScore {
+				cur, curScore = cand, s
+				stuck = 0
+			} else {
+				stuck++
+			}
+		}
+	}
+	res.Evals = evals
+	return res
+}
+
+// Genetic runs a steady-state genetic algorithm with tournament selection,
+// uniform crossover and per-dimension mutation; n bounds evaluations.
+func Genetic(obj Objective, n int, rng *rand.Rand) Result {
+	const (
+		popSize    = 20
+		tournament = 3
+		mutateProb = 0.05
+	)
+	res := Result{BestScore: -1}
+	evals := 0
+	type indiv struct {
+		c opt.Config
+		s float64
+	}
+	eval := func(c opt.Config) indiv {
+		s := obj(&c)
+		evals++
+		if s > res.BestScore {
+			res.BestScore = s
+			res.Best = c
+		}
+		res.Curve = append(res.Curve, res.BestScore)
+		return indiv{c: c, s: s}
+	}
+	pop := make([]indiv, 0, popSize)
+	for i := 0; i < popSize && evals < n; i++ {
+		pop = append(pop, eval(opt.Random(rng)))
+	}
+	pick := func() indiv {
+		best := pop[rng.Intn(len(pop))]
+		for i := 1; i < tournament; i++ {
+			c := pop[rng.Intn(len(pop))]
+			if c.s > best.s {
+				best = c
+			}
+		}
+		return best
+	}
+	for evals < n {
+		a, b := pick(), pick()
+		var child opt.Config
+		for l := 0; l < opt.NumDims; l++ {
+			v := a.c.Value(l)
+			if rng.Intn(2) == 1 {
+				v = b.c.Value(l)
+			}
+			if rng.Float64() < mutateProb {
+				v = rng.Intn(opt.DimSize(l))
+			}
+			child.SetValue(l, v)
+		}
+		ch := eval(child)
+		// Replace the worst individual.
+		worst := 0
+		for i := range pop {
+			if pop[i].s < pop[worst].s {
+				worst = i
+			}
+		}
+		if ch.s > pop[worst].s {
+			pop[worst] = ch
+		}
+	}
+	res.Evals = evals
+	return res
+}
+
+// EvalsToReach returns the first evaluation index (1-based) at which the
+// curve reaches the target score, or -1 if it never does. This implements
+// the Section 5.3 comparison: "standard iterative compilation would
+// require approximately 50 iterations on average to achieve similar
+// performance".
+func EvalsToReach(curve []float64, target float64) int {
+	for i, s := range curve {
+		if s >= target {
+			return i + 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,97 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"portcc/internal/opt"
+)
+
+// toyObjective scores configurations by how many of three target flags are
+// set: a smooth landscape all three searches can climb.
+func toyObjective(c *opt.Config) float64 {
+	s := 1.0
+	if c.Flag(opt.FGcse) {
+		s += 0.2
+	}
+	if c.Flag(opt.FUnrollLoops) {
+		s += 0.2
+	}
+	if !c.Flag(opt.FAlignLabels) {
+		s += 0.1
+	}
+	return s
+}
+
+func TestCurvesMonotone(t *testing.T) {
+	f := func(seed int64, which uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var res Result
+		switch which % 3 {
+		case 0:
+			res = Random(toyObjective, 60, rng)
+		case 1:
+			res = HillClimb(toyObjective, 60, rng)
+		default:
+			res = Genetic(toyObjective, 60, rng)
+		}
+		if len(res.Curve) == 0 {
+			return false
+		}
+		for i := 1; i < len(res.Curve); i++ {
+			if res.Curve[i] < res.Curve[i-1] {
+				return false
+			}
+		}
+		return res.BestScore == res.Curve[len(res.Curve)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchesFindTheOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range []struct {
+		name string
+		run  func(Objective, int, *rand.Rand) Result
+	}{{"random", Random}, {"hill", HillClimb}, {"genetic", Genetic}} {
+		res := s.run(toyObjective, 400, rng)
+		if res.BestScore < 1.5-1e-9 {
+			t.Errorf("%s: best %.3f after 400 evals, optimum is 1.5", s.name, res.BestScore)
+		}
+	}
+}
+
+func TestDeterministicSearch(t *testing.T) {
+	a := Random(toyObjective, 50, rand.New(rand.NewSource(1)))
+	b := Random(toyObjective, 50, rand.New(rand.NewSource(1)))
+	if a.Best != b.Best || a.BestScore != b.BestScore {
+		t.Error("random search not deterministic under a fixed seed")
+	}
+}
+
+func TestEvalsToReach(t *testing.T) {
+	curve := []float64{1.0, 1.0, 1.2, 1.2, 1.5}
+	if got := EvalsToReach(curve, 1.2); got != 3 {
+		t.Errorf("EvalsToReach = %d, want 3", got)
+	}
+	if got := EvalsToReach(curve, 2.0); got != -1 {
+		t.Errorf("unreachable target returned %d", got)
+	}
+	if got := EvalsToReach(curve, 0.5); got != 1 {
+		t.Errorf("trivial target returned %d", got)
+	}
+}
+
+func TestEvalBudgetRespected(t *testing.T) {
+	for _, s := range []func(Objective, int, *rand.Rand) Result{Random, HillClimb, Genetic} {
+		evals := 0
+		counter := func(c *opt.Config) float64 { evals++; return 1 }
+		res := s(counter, 37, rand.New(rand.NewSource(1)))
+		if evals > 37 || res.Evals > 37 {
+			t.Errorf("search exceeded its evaluation budget: %d/%d", evals, res.Evals)
+		}
+	}
+}

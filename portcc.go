@@ -1,0 +1,144 @@
+// Package portcc is a portable optimising compiler: a reproduction of
+// "Portable Compiler Optimisation Across Embedded Programs and
+// Microarchitectures using Machine Learning" (Dubach, Jones, Bonilla,
+// Fursin, O'Boyle - MICRO 2009) as a self-contained Go library.
+//
+// The library contains the paper's entire experimental stack: a compiler
+// with the gcc 4.2 optimisation space of the paper's Figure 3, the 35
+// MiBench-equivalent benchmark programs, an XScale-class trace-driven
+// simulator with the Table 1 performance counters over the Table 2
+// microarchitecture design space, the machine-learning model of Section 3,
+// the iterative-compilation baselines, and drivers that regenerate every
+// table and figure of the evaluation.
+//
+// # Quick start
+//
+//	compiler := portcc.New()
+//	result, err := compiler.Run("rijndael_e", portcc.O3(), portcc.XScale())
+//
+// To use the learned model end-to-end (Figure 2's deployment path):
+//
+//	ds, _ := portcc.TinyScale().Dataset(false)
+//	model, _ := portcc.TrainModel(ds)
+//	cfg, _ := compiler.OptimizeFor("rijndael_e", arch, model) // one -O3 profile run + prediction
+package portcc
+
+import (
+	"fmt"
+
+	"portcc/internal/codegen"
+	"portcc/internal/cpu"
+	"portcc/internal/dataset"
+	"portcc/internal/experiments"
+	"portcc/internal/features"
+	"portcc/internal/ml"
+	"portcc/internal/opt"
+	"portcc/internal/prog"
+	"portcc/internal/uarch"
+)
+
+// Re-exported configuration types.
+type (
+	// OptConfig is one point of the compiler optimisation space
+	// (30 boolean flags plus 9 parameters; Figure 3).
+	OptConfig = opt.Config
+	// Arch is one microarchitecture configuration (Table 2).
+	Arch = uarch.Config
+	// RunResult carries cycles and the Table 1 performance counters.
+	RunResult = cpu.Result
+	// Model is the trained predictive model of Section 3.
+	Model = ml.Model
+	// Dataset is the training data of Section 3.2.
+	Dataset = dataset.Dataset
+	// Scale selects experiment sampling sizes.
+	Scale = experiments.Scale
+	// Binary is a placed program image.
+	Binary = codegen.Program
+)
+
+// O3 returns the highest default optimisation level, the paper's baseline.
+func O3() OptConfig { return opt.O3() }
+
+// XScale returns the Intel XScale reference microarchitecture.
+func XScale() Arch { return uarch.XScale() }
+
+// Programs returns the 35 benchmark names in the paper's Figure 4 order.
+func Programs() []string { return prog.Names() }
+
+// Scales.
+func TinyScale() Scale   { return experiments.Tiny }
+func SmallScale() Scale  { return experiments.Small }
+func MediumScale() Scale { return experiments.Medium }
+func PaperScale() Scale  { return experiments.Paper }
+
+// Compiler is the user-facing facade: compile benchmarks under chosen
+// optimisation settings and run them on simulated microarchitectures.
+type Compiler struct {
+	ev *dataset.Evaluator
+}
+
+// New builds a compiler with default workload scaling.
+func New() *Compiler {
+	return &Compiler{ev: dataset.NewEvaluator(dataset.EvalConfig{})}
+}
+
+// Compile builds the named benchmark under the given optimisation setting
+// and returns its binary image.
+func (c *Compiler) Compile(program string, cfg OptConfig) (*Binary, error) {
+	_, p, err := c.ev.Trace(program, &cfg)
+	return p, err
+}
+
+// Run compiles and simulates the named benchmark on an architecture,
+// returning cycles and performance counters.
+func (c *Compiler) Run(program string, cfg OptConfig, arch Arch) (RunResult, error) {
+	return c.ev.Run(program, &cfg, arch)
+}
+
+// CyclesPerRun returns the work-normalised execution time (cycles per
+// complete program run), the metric speedups are computed from.
+func (c *Compiler) CyclesPerRun(program string, cfg OptConfig, arch Arch) (float64, error) {
+	return c.ev.CyclesPerRun(program, &cfg, arch)
+}
+
+// Speedup measures cfg against -O3 on the given architecture.
+func (c *Compiler) Speedup(program string, cfg OptConfig, arch Arch) (float64, error) {
+	base, err := c.CyclesPerRun(program, O3(), arch)
+	if err != nil {
+		return 0, err
+	}
+	got, err := c.CyclesPerRun(program, cfg, arch)
+	if err != nil {
+		return 0, err
+	}
+	if got == 0 {
+		return 0, fmt.Errorf("portcc: zero cycle count for %s", program)
+	}
+	return base / got, nil
+}
+
+// TrainModel fits the paper's model on a dataset: per-pair IID
+// distributions over the good optimisation settings, combined at
+// prediction time by KNN in feature space.
+func TrainModel(ds *Dataset) (*Model, error) {
+	pairs, err := ds.TrainingPairs()
+	if err != nil {
+		return nil, err
+	}
+	return ml.Train(pairs), nil
+}
+
+// OptimizeFor is the deployment path of Figure 2: one profile run of the
+// program at -O3 on the target architecture supplies the performance
+// counters; the model predicts the best passes; the returned configuration
+// is ready to compile with.
+func (c *Compiler) OptimizeFor(program string, arch Arch, m *Model) (OptConfig, error) {
+	r, err := c.ev.Run(program, ptrTo(O3()), arch)
+	if err != nil {
+		return OptConfig{}, err
+	}
+	x := features.Vector(arch, &r)
+	return m.Predict(x, ml.Exclude{Prog: "", Arch: -1}), nil
+}
+
+func ptrTo(c OptConfig) *OptConfig { return &c }
