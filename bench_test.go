@@ -10,6 +10,8 @@
 package portcc_test
 
 import (
+	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
@@ -266,16 +268,74 @@ func BenchmarkCompile(b *testing.B) {
 
 // BenchmarkSimulate measures simulator throughput (events per second).
 func BenchmarkSimulate(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Simulate(tr, uarch.XScale())
+	}
+	b.ReportMetric(float64(tr.Insns()), "events")
+}
+
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
 	m := prog.MustBuild("gs")
 	o3 := opt.O3()
 	p, err := core.Compile(m, &o3)
 	if err != nil {
 		b.Fatal(err)
 	}
-	tr := trace.Generate(p, trace.Config{Runs: 2, MaxInsns: 200000, Seed: 1})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cpu.Simulate(tr, uarch.XScale())
+	return trace.Generate(p, trace.Config{Runs: 2, MaxInsns: 200000, Seed: 1})
+}
+
+// benchArchCounts are the multi-architecture replay sizes: the protocol
+// sweep from the Small scale up to the paper's 200-architecture sample.
+var benchArchCounts = []int{16, 64, 200}
+
+// BenchmarkSimulateSequential is the pre-batching baseline: the per-config
+// loop that replays the identical trace once per architecture. The custom
+// metric is aggregate throughput in millions of (event x config) per
+// second, comparable across architecture counts.
+func BenchmarkSimulateSequential(b *testing.B) {
+	tr := benchTrace(b)
+	for _, n := range benchArchCounts {
+		rng := rand.New(rand.NewSource(7))
+		cfgs := uarch.Space{}.SampleN(rng, n)
+		b.Run(fmt.Sprintf("archs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, c := range cfgs {
+					cpu.Simulate(tr, c)
+				}
+			}
+			b.ReportMetric(float64(tr.Insns()*len(cfgs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevc/s")
+		})
 	}
-	b.ReportMetric(float64(tr.Insns()), "events")
+}
+
+// BenchmarkSimulateBatch measures the batched multi-architecture engine:
+// one pass over the trace advancing every configuration together, with
+// cache and BTB state deduplicated by geometry (bit-identical to the
+// sequential loop; see internal/cpu/batch_test.go). Compare Mevc/s against
+// BenchmarkSimulateSequential at the same architecture count. The extended
+// sub-benchmark covers the §7 space whose dual-issue configurations keep a
+// per-event model.
+func BenchmarkSimulateBatch(b *testing.B) {
+	tr := benchTrace(b)
+	for _, n := range benchArchCounts {
+		rng := rand.New(rand.NewSource(7))
+		cfgs := uarch.Space{}.SampleN(rng, n)
+		b.Run(fmt.Sprintf("archs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cpu.SimulateBatch(tr, cfgs)
+			}
+			b.ReportMetric(float64(tr.Insns()*len(cfgs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevc/s")
+		})
+	}
+	rng := rand.New(rand.NewSource(7))
+	cfgs := uarch.Space{Extended: true}.SampleN(rng, 64)
+	b.Run("extended-archs=64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cpu.SimulateBatch(tr, cfgs)
+		}
+		b.ReportMetric(float64(tr.Insns()*len(cfgs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevc/s")
+	})
 }

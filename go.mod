@@ -1,0 +1,3 @@
+module portcc
+
+go 1.22

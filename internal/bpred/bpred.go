@@ -4,7 +4,10 @@
 // (fall-through fetch); a hit predicts according to the counter.
 package bpred
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // BTB is the branch target buffer. Not safe for concurrent use.
 type BTB struct {
@@ -24,24 +27,67 @@ type BTB struct {
 // New builds a BTB with the given entry count and associativity (both
 // powers of two, entries divisible by assoc).
 func New(entries, assoc int) (*BTB, error) {
+	b := &BTB{}
+	if err := b.Reshape(entries, assoc); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Reshape reconfigures the BTB to the given geometry in place, reusing the
+// backing arrays when they are large enough, and clears all contents and
+// statistics. It is the allocation-free path for pooled reuse across
+// simulations of different microarchitectures.
+func (b *BTB) Reshape(entries, assoc int) error {
 	if entries <= 0 || assoc <= 0 || entries%assoc != 0 {
-		return nil, fmt.Errorf("bpred: bad geometry entries=%d assoc=%d", entries, assoc)
+		return fmt.Errorf("bpred: bad geometry entries=%d assoc=%d", entries, assoc)
 	}
 	sets := entries / assoc
 	for _, v := range []int{entries, assoc, sets} {
 		if v&(v-1) != 0 {
-			return nil, fmt.Errorf("bpred: geometry %d not a power of two", v)
+			return fmt.Errorf("bpred: geometry %d not a power of two", v)
 		}
 	}
-	b := &BTB{
-		tags:    make([]uint32, entries),
-		ctr:     make([]uint8, entries),
-		used:    make([]uint64, entries),
-		assoc:   assoc,
-		setMask: uint32(sets - 1),
-		setBits: log2u(uint32(sets)),
+	if cap(b.tags) >= entries && cap(b.ctr) >= entries && cap(b.used) >= entries {
+		b.tags = b.tags[:entries]
+		b.ctr = b.ctr[:entries]
+		b.used = b.used[:entries]
+		for i := range b.tags {
+			b.tags[i] = 0
+			b.ctr[i] = 0
+			b.used[i] = 0
+		}
+	} else {
+		b.tags = make([]uint32, entries)
+		b.ctr = make([]uint8, entries)
+		b.used = make([]uint64, entries)
+	}
+	b.assoc = assoc
+	b.setMask = uint32(sets - 1)
+	b.setBits = log2u(uint32(sets))
+	b.stamp, b.lookups, b.hits, b.predTkn, b.mispreds = 0, 0, 0, 0, 0
+	return nil
+}
+
+// pool recycles BTBs across simulations; see cache.Get for the idea.
+var pool = sync.Pool{New: func() any { return new(BTB) }}
+
+// Get returns a pooled BTB reshaped to the given geometry.
+func Get(entries, assoc int) (*BTB, error) {
+	b := pool.Get().(*BTB)
+	if err := b.Reshape(entries, assoc); err != nil {
+		pool.Put(b)
+		return nil, err
 	}
 	return b, nil
+}
+
+// Put returns a BTB obtained from Get to the pool. The BTB must not be used
+// after Put.
+func Put(b *BTB) {
+	if b != nil {
+		pool.Put(b)
+	}
 }
 
 // MustNew is New panicking on error.
@@ -116,6 +162,57 @@ func (b *BTB) Resolve(pc uint32, pred, taken bool) bool {
 		b.used[slot] = b.stamp
 	} else if taken {
 		// Allocate on taken: initialise weakly taken.
+		b.tags[victim] = tag
+		b.ctr[victim] = 2
+		b.used[victim] = b.stamp
+	}
+	if pred != taken {
+		b.mispreds++
+		return true
+	}
+	return false
+}
+
+// Step performs the fetch-time lookup and the resolution of the branch at
+// pc in a single set scan. It is exactly equivalent to Predict followed by
+// Resolve (the batched simulator's hot path) and reports whether the
+// prediction was wrong.
+func (b *BTB) Step(pc uint32, taken bool) bool {
+	b.lookups++
+	idx := pc >> 2
+	set := idx & b.setMask
+	tag := (idx >> b.setBits) + 1
+	base := int(set) * b.assoc
+	slot := -1
+	victim := base
+	oldest := b.used[base]
+	for i := base; i < base+b.assoc; i++ {
+		if b.tags[i] == tag {
+			slot = i
+			break
+		}
+		if b.used[i] < oldest {
+			oldest = b.used[i]
+			victim = i
+		}
+	}
+	pred := false
+	b.stamp++
+	if slot >= 0 {
+		b.hits++
+		pred = b.ctr[slot] >= 2
+		if pred {
+			b.predTkn++
+		}
+		if taken {
+			if b.ctr[slot] < 3 {
+				b.ctr[slot]++
+			}
+		} else if b.ctr[slot] > 0 {
+			b.ctr[slot]--
+		}
+		b.used[slot] = b.stamp
+	} else if taken {
 		b.tags[victim] = tag
 		b.ctr[victim] = 2
 		b.used[victim] = b.stamp

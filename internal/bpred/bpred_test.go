@@ -1,6 +1,9 @@
 package bpred
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestColdPredictsNotTaken(t *testing.T) {
 	b := MustNew(64, 1)
@@ -93,6 +96,63 @@ func TestGeometryErrors(t *testing.T) {
 		if _, err := New(g[0], g[1]); err == nil {
 			t.Errorf("geometry %v accepted", g)
 		}
+	}
+}
+
+func TestStepEquivalentToPredictResolve(t *testing.T) {
+	for _, g := range [][2]int{{64, 1}, {128, 4}, {2048, 8}} {
+		a := MustNew(g[0], g[1])
+		b := MustNew(g[0], g[1])
+		rng := rand.New(rand.NewSource(int64(g[0])))
+		for i := 0; i < 20000; i++ {
+			pc := uint32(rng.Intn(1<<14)) * 4
+			taken := rng.Intn(3) > 0
+			pred := a.Predict(pc)
+			mis := a.Resolve(pc, pred, taken)
+			if got := b.Step(pc, taken); got != mis {
+				t.Fatalf("geometry %v, branch %d: Step=%v, Predict+Resolve=%v", g, i, got, mis)
+			}
+		}
+		if a.Mispredicts() != b.Mispredicts() || a.Hits() != b.Hits() || a.Lookups() != b.Lookups() {
+			t.Errorf("geometry %v: diverging statistics", g)
+		}
+	}
+}
+
+func TestReshapeReusesAndResets(t *testing.T) {
+	b := MustNew(2048, 8)
+	b.Resolve(0x8000, b.Predict(0x8000), true)
+	if err := b.Reshape(64, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Lookups() != 0 || b.Mispredicts() != 0 {
+		t.Error("reshape must clear statistics")
+	}
+	if b.Predict(0x8000) {
+		t.Error("reshape must clear counters")
+	}
+	if err := b.Reshape(8, 3); err == nil {
+		t.Error("bad geometry accepted by Reshape")
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	b, err := Get(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Resolve(0x8000, b.Predict(0x8000), true)
+	Put(b)
+	c, err := Get(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Put(c)
+	if c.Lookups() != 0 || c.Predict(0x8000) {
+		t.Error("pooled BTB must come back fully reset")
+	}
+	if _, err := Get(6, 2); err == nil {
+		t.Error("bad geometry accepted by Get")
 	}
 }
 

@@ -4,7 +4,10 @@
 // charged by the CPU model from the Cacti-style numbers in internal/uarch.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Cache is a set-associative cache with true-LRU replacement.
 // It is not safe for concurrent use.
@@ -24,27 +27,83 @@ type Cache struct {
 // all in bytes (associativity in ways). Size must be divisible by
 // assoc*block; all three must be powers of two.
 func New(sizeBytes, assoc, blockBytes int) (*Cache, error) {
+	c := &Cache{}
+	if err := c.Reshape(sizeBytes, assoc, blockBytes); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// CheckGeometry validates a (size, assoc, block) triple against the model's
+// constraints: positive, size divisible by assoc*block, all powers of two.
+func CheckGeometry(sizeBytes, assoc, blockBytes int) error {
 	if sizeBytes <= 0 || assoc <= 0 || blockBytes <= 0 {
-		return nil, fmt.Errorf("cache: non-positive geometry %d/%d/%d", sizeBytes, assoc, blockBytes)
+		return fmt.Errorf("cache: non-positive geometry %d/%d/%d", sizeBytes, assoc, blockBytes)
 	}
 	if sizeBytes%(assoc*blockBytes) != 0 {
-		return nil, fmt.Errorf("cache: size %d not divisible by assoc %d * block %d", sizeBytes, assoc, blockBytes)
+		return fmt.Errorf("cache: size %d not divisible by assoc %d * block %d", sizeBytes, assoc, blockBytes)
 	}
 	numSets := sizeBytes / (assoc * blockBytes)
 	for _, v := range []int{sizeBytes, assoc, blockBytes, numSets} {
 		if v&(v-1) != 0 {
-			return nil, fmt.Errorf("cache: geometry %d not a power of two", v)
+			return fmt.Errorf("cache: geometry %d not a power of two", v)
 		}
 	}
-	c := &Cache{
-		tags:    make([]uint32, numSets*assoc),
-		used:    make([]uint64, numSets*assoc),
-		assoc:   assoc,
-		setMask: uint32(numSets - 1),
-		blockLg: log2u(uint32(blockBytes)),
-		setBits: log2u(uint32(numSets)),
+	return nil
+}
+
+// Reshape reconfigures the cache to the given geometry in place, reusing
+// the backing arrays when they are large enough, and clears all contents
+// and statistics. It is the allocation-free path for pooled reuse across
+// simulations of different microarchitectures.
+func (c *Cache) Reshape(sizeBytes, assoc, blockBytes int) error {
+	if err := CheckGeometry(sizeBytes, assoc, blockBytes); err != nil {
+		return err
+	}
+	numSets := sizeBytes / (assoc * blockBytes)
+	n := numSets * assoc
+	if cap(c.tags) >= n && cap(c.used) >= n {
+		c.tags = c.tags[:n]
+		c.used = c.used[:n]
+		for i := range c.tags {
+			c.tags[i] = 0
+			c.used[i] = 0
+		}
+	} else {
+		c.tags = make([]uint32, n)
+		c.used = make([]uint64, n)
+	}
+	c.assoc = assoc
+	c.setMask = uint32(numSets - 1)
+	c.blockLg = log2u(uint32(blockBytes))
+	c.setBits = log2u(uint32(numSets))
+	c.stamp = 0
+	c.accesses = 0
+	c.misses = 0
+	return nil
+}
+
+// pool recycles caches across simulations. A recycled cache keeps its
+// largest-seen backing arrays, so steady-state Get/Reshape/Put cycles
+// perform no heap allocations.
+var pool = sync.Pool{New: func() any { return new(Cache) }}
+
+// Get returns a pooled cache reshaped to the given geometry.
+func Get(sizeBytes, assoc, blockBytes int) (*Cache, error) {
+	c := pool.Get().(*Cache)
+	if err := c.Reshape(sizeBytes, assoc, blockBytes); err != nil {
+		pool.Put(c)
+		return nil, err
 	}
 	return c, nil
+}
+
+// Put returns a cache obtained from Get to the pool. The cache must not be
+// used after Put.
+func Put(c *Cache) {
+	if c != nil {
+		pool.Put(c)
+	}
 }
 
 func log2u(v uint32) uint32 {

@@ -133,3 +133,51 @@ func TestGeometryAccessors(t *testing.T) {
 			c.Sets(), c.Assoc(), c.BlockBytes())
 	}
 }
+
+func TestReshapeReusesAndResets(t *testing.T) {
+	c := MustNew(128<<10, 4, 8) // largest backing arrays first
+	c.Access(0)
+	if err := c.Reshape(32, 2, 16); err != nil {
+		t.Fatal(err)
+	}
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Error("reshape must clear statistics")
+	}
+	if c.Contains(0) {
+		t.Error("reshape must clear contents")
+	}
+	if c.Sets() != 1 || c.Assoc() != 2 || c.BlockBytes() != 16 {
+		t.Errorf("reshaped geometry wrong: %d sets, %d ways, %d-byte blocks",
+			c.Sets(), c.Assoc(), c.BlockBytes())
+	}
+	// Behaviour after reshape matches a freshly built cache.
+	f := MustNew(32, 2, 16)
+	for _, addr := range []uint32{0, 32, 0, 64, 32} {
+		if c.Access(addr) != f.Access(addr) {
+			t.Fatalf("reshaped cache diverges from fresh cache at %#x", addr)
+		}
+	}
+	if err := c.Reshape(48, 3, 8); err == nil {
+		t.Error("bad geometry accepted by Reshape")
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	c, err := Get(4<<10, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0x1234)
+	Put(c)
+	d, err := Get(4<<10, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Put(d)
+	if d.Accesses() != 0 || d.Contains(0x1234) {
+		t.Error("pooled cache must come back fully reset")
+	}
+	if _, err := Get(48, 3, 8); err == nil {
+		t.Error("bad geometry accepted by Get")
+	}
+}

@@ -1,0 +1,28 @@
+// The race detector makes sync.Pool drop items on purpose, so the
+// zero-alloc pin only holds in normal builds.
+//go:build !race
+
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"portcc/internal/uarch"
+)
+
+// TestSimulateSteadyStateAllocs pins the pooled hot path: after warm-up,
+// Simulate must not allocate (the seed performed 10 allocations and 31552
+// bytes per call building fresh cache and BTB state).
+func TestSimulateSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := randomTrace(rng, 5000)
+	cfg := uarch.XScale()
+	Simulate(tr, cfg) // warm the pools
+	allocs := testing.AllocsPerRun(50, func() {
+		Simulate(tr, cfg)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Simulate allocates %.1f times per run, want 0", allocs)
+	}
+}

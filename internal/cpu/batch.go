@@ -1,0 +1,869 @@
+// Batched multi-architecture replay: SimulateBatch streams the trace's
+// event array once and advances the state of every requested
+// microarchitecture together, instead of one full replay per
+// configuration. Results are bit-identical to per-configuration Simulate.
+//
+// Four structural facts of the model make the batch engine fast:
+//
+//  1. The trace is microarchitecture-independent, so per-event decode work
+//     (operation class, flags, dependency distances) is shared by all
+//     configurations instead of repeated N times. So is the fetch
+//     bookkeeping: the previous fetch line depends only on the block size,
+//     and the pending redirect splits into a shared part (taken branches,
+//     unconditional control) plus a per-BTB-geometry part (mispredicted
+//     not-taken branches), which the engine encodes as per-block bitsets.
+//
+//  2. Cache behaviour depends only on geometry, and true-LRU caches obey
+//     the inclusion property: for a fixed set count and block size, an
+//     access that hits at LRU-stack depth k hits exactly the members with
+//     associativity > k. One MRU-ordered tag stack per (set count, block
+//     size) therefore resolves hit/miss for every sampled associativity at
+//     once (Table 2 has far fewer unique cache geometries than the 200
+//     sampled architectures). BTB prediction state is likewise shared per
+//     BTB geometry.
+//
+//  3. For single-issue configurations (the whole Table 2 base space) every
+//     instruction issues in exactly one cycle plus stalls, and each stall
+//     source is a shared per-event count times a per-configuration
+//     penalty, so cycles reduce to closed forms over group counters - the
+//     only per-event per-configuration term, the dependency stall,
+//     collapses onto a small (load-distance, FU-stall) histogram built in
+//     the same pass. Dual-issue configurations (§7 extended space) keep a
+//     full per-event model because the pairing slot couples everything.
+//
+//  4. The pass is cache-blocked: the trace is consumed in blocks of
+//     blockEvents events, and each shared structure sweeps a whole block
+//     before the next one runs, so its hot tag lines stay cache-resident
+//     for the duration of the sweep - interleaving all geometries at
+//     every event would instead evict everything continuously. The block
+//     itself is decoded once into dense, prefetch-friendly lists (packed
+//     PCs, memory records, branch records) that the sweeps stream over,
+//     and the trace is still read from main memory once.
+package cpu
+
+import (
+	"math/bits"
+	"sort"
+
+	"portcc/internal/bpred"
+	"portcc/internal/cache"
+	"portcc/internal/isa"
+	"portcc/internal/trace"
+	"portcc/internal/uarch"
+)
+
+// blockEvents is the tile size of the pass: big enough to amortise the
+// per-block sweeps, small enough that a block of events plus the bitset
+// scratch stays cache-resident. Must be a multiple of 64.
+const blockEvents = 32768
+
+const blockWords = blockEvents / 64
+
+// bitset is a fixed-capacity per-block bit vector indexed by event
+// position within the block.
+type bitset []uint64
+
+func newBitset() bitset { return make(bitset, blockWords) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (i & 63) }
+func (b bitset) get(i int) bool { return b[i>>6]>>(i&63)&1 != 0 }
+
+func (b bitset) clearWords(n int) {
+	for i := 0; i < n; i++ {
+		b[i] = 0
+	}
+}
+
+// cacheMember is one concrete cache geometry served by a shared lruStack:
+// its associativity selects how deep in the stack an access may hit.
+type cacheMember struct {
+	assoc       int
+	misses      uint64
+	loadMisses  uint64 // data-cache members: misses split by op for the
+	storeMisses uint64 // store-buffer penalty
+	// missBits records the positions of this member's misses within the
+	// current block; allocated only when multi-issue configurations need
+	// per-event outcomes.
+	missBits bitset
+}
+
+// lruStack simulates a family of set-associative true-LRU caches sharing a
+// set count and block size. Tags are kept MRU-first per set, so the depth
+// at which an access hits decides hit/miss for every member at once, the
+// common high-locality hit is a one-probe scan instead of a full
+// associativity sweep, and an access only visits the members it misses in
+// (sorted ascending, the scan stops at the first member deep enough to
+// hit).
+type lruStack struct {
+	lines    []uint32 // sets x depth tags, a circular MRU list per set
+	head     []uint8  // per-set index of the MRU entry within its ring
+	fill     []uint8  // valid entries per set
+	depth    int      // largest member associativity (a power of two)
+	setMask  uint32
+	blockLg  uint32
+	setBits  uint32
+	lastLine uint32 // line of the most recent access (same-line fast path)
+	members  []*cacheMember
+}
+
+// member returns the member with the given associativity, creating it on
+// first use. Must not be called after finalize.
+func (s *lruStack) member(assoc int) *cacheMember {
+	for _, m := range s.members {
+		if m.assoc == assoc {
+			return m
+		}
+	}
+	m := &cacheMember{assoc: assoc}
+	s.members = append(s.members, m)
+	return m
+}
+
+// finalize sorts members and sizes the tag store once all are registered.
+func (s *lruStack) finalize() {
+	sort.Slice(s.members, func(a, b int) bool { return s.members[a].assoc < s.members[b].assoc })
+	s.depth = s.members[len(s.members)-1].assoc
+	s.lines = make([]uint32, (int(s.setMask)+1)*s.depth)
+	s.head = make([]uint8, int(s.setMask)+1)
+	s.fill = make([]uint8, int(s.setMask)+1)
+	s.lastLine = ^uint32(0)
+}
+
+// access touches addr at block position j, updates recency, and records
+// the outcome in the members the hit depth reaches. Invalid (zero) tags
+// only ever occupy the tail of a set's list, beyond its fill count.
+func (s *lruStack) access(addr uint32, j int, isStore, isData bool) {
+	line := addr >> s.blockLg
+	if line == s.lastLine {
+		// The previous access put this very line at the front of its
+		// set, so this is an MRU hit with no state to update.
+		return
+	}
+	s.lastLine = line
+	set := line & s.setMask
+	tag := (line >> s.setBits) + 1 // +1 so 0 means invalid, collision-free
+	base := int(set) * s.depth
+	buf := s.lines[base : base+s.depth]
+	h := int(s.head[set]) & (len(buf) - 1)
+	if buf[h] == tag {
+		return // MRU hit: no reordering, no member can miss at depth 0
+	}
+	n := int(s.fill[set])
+	d := 1
+	for d < n && buf[(h+d)&(len(buf)-1)] != tag {
+		d++
+	}
+	hitDepth := d
+	if d < n {
+		// Hit at depth d: rotate the d entries in front of it back by
+		// one and install the line at the MRU slot.
+		for i := d; i > 0; i-- {
+			buf[(h+i)&(len(buf)-1)] = buf[(h+i-1)&(len(buf)-1)]
+		}
+		buf[h] = tag
+	} else {
+		// Miss: the ring makes insertion O(1) - step the head back onto
+		// the LRU slot (evicting it when the set is full).
+		hitDepth = s.depth // beyond every member: miss for all
+		if n < s.depth {
+			s.fill[set] = uint8(n + 1)
+		}
+		h = (h - 1) & (len(buf) - 1)
+		buf[h] = tag
+		s.head[set] = uint8(h)
+	}
+	for _, m := range s.members {
+		if m.assoc > hitDepth {
+			break
+		}
+		m.misses++
+		if isData {
+			if isStore {
+				m.storeMisses++
+			} else {
+				m.loadMisses++
+			}
+		}
+		if m.missBits != nil {
+			m.missBits.set(j)
+		}
+	}
+}
+
+// btbGroup is the shared branch predictor state for one BTB geometry: the
+// predict/resolve stream is the trace's conditional branches, identical
+// for every configuration, so the misprediction sequence depends on the
+// geometry alone. The table packs each entry's tag, 2-bit counter and LRU
+// stamp into one word - tag<<32 | ctr<<30 | stamp - so a whole set of up
+// to eight ways occupies a single cache line, where bpred.BTB's parallel
+// arrays would touch three. Behaviour is exactly bpred.BTB's.
+type btbGroup struct {
+	entries     []uint64
+	assoc       int
+	setMask     uint32
+	setBits     uint32
+	stamp       uint64 // 30-bit LRU clock (a trace holds far fewer branches)
+	mispredicts uint64
+	// dev marks the positions that raise a geometry-specific fetch
+	// redirect: mispredicted not-taken branches refetch the fall-through
+	// path here while geometries that predicted correctly stream on.
+	dev bitset
+	// mispredBits records this block's mispredictions (multi-issue only).
+	mispredBits bitset
+}
+
+const (
+	btbTagShift    = 32
+	btbCtrShift    = 30
+	btbCtrMask     = 3 << btbCtrShift
+	btbStampMask   = 1<<btbCtrShift - 1
+	btbCtrInit     = 2 << btbCtrShift
+	btbCtrTakenBit = 2 << btbCtrShift // counter >= 2 predicts taken
+)
+
+// step performs the fetch-time lookup and resolution of the branch at pc
+// in one set scan, mirroring bpred.BTB.Step bit for bit: miss predicts
+// not-taken, hits predict by the counter, taken branches allocate
+// weakly-taken entries, and the LRU victim is the lowest stamp.
+func (g *btbGroup) step(pc uint32, taken bool) bool {
+	idx := pc >> 2
+	set := idx & g.setMask
+	tag := uint64(idx>>g.setBits) + 1
+	base := int(set) * g.assoc
+	buf := g.entries[base : base+g.assoc]
+	slot := -1
+	victim := 0
+	oldest := buf[0] & btbStampMask
+	for i := 0; i < len(buf); i++ {
+		e := buf[i]
+		if e>>btbTagShift == tag {
+			slot = i
+			break
+		}
+		if s := e & btbStampMask; s < oldest {
+			oldest = s
+			victim = i
+		}
+	}
+	pred := false
+	g.stamp++
+	if slot >= 0 {
+		e := buf[slot]
+		pred = e&btbCtrTakenBit != 0
+		ctr := e & btbCtrMask
+		if taken {
+			if ctr < btbCtrMask {
+				ctr += 1 << btbCtrShift
+			}
+		} else if ctr > 0 {
+			ctr -= 1 << btbCtrShift
+		}
+		buf[slot] = e&^(btbCtrMask|btbStampMask) | ctr | g.stamp
+	} else if taken {
+		buf[victim] = tag<<btbTagShift | btbCtrInit | g.stamp
+	}
+	return pred != taken
+}
+
+// icStream is one fetch-decision stream: which events access the
+// instruction cache depends on the redirect history (through the BTB
+// geometry) and the line size, so streams are keyed by (BTB geometry, IL1
+// block size). A stream never touches cache state itself - a redirect to
+// an unchanged fetch line refetches the line the cache just served, which
+// is a guaranteed MRU hit that neither reorders the LRU stack nor misses,
+// so every state-changing access happens at a line-change position. Those
+// positions are BTB-independent, which is what lets the tag stacks merge
+// across BTB geometries (icStack below) while streams reduce to popcount
+// bookkeeping.
+type icStream struct {
+	btbIdx     int // index into the BTB group list (redirect deviations)
+	lineIdx    int // index into the shared line trackers (per block size)
+	accesses   uint64
+	redirects  uint64
+	redirCarry bool // pending redirect entering the current block
+	// Per-block scratch: redirBits is the pending redirect at each
+	// position (the previous position's outcome shifted in), accBits the
+	// fetch decision redirBits | lineChanged.
+	redirBits bitset
+	accBits   bitset
+}
+
+// icStack is one merged instruction-cache tag stack, keyed by (IL1 sets,
+// IL1 block) alone: its access sequence is exactly the line-change
+// positions of its block size, shared by every BTB geometry.
+type icStack struct {
+	stack   lruStack
+	lineIdx int
+}
+
+// lineTrack follows the fetch line for one IL1 block size. The previous
+// line is configuration-independent: whether or not a stream accessed the
+// cache at an event, its last fetched line ends up being that event's.
+type lineTrack struct {
+	blockLg  uint32
+	prevLine uint32
+	changed  bitset
+}
+
+// batchState is the per-configuration view: indices into the shared
+// groups plus the derived latencies and penalties of Simulate. The cycle
+// accumulators are used only on the multi-issue path; single-issue
+// configurations are assembled in closed form from the group counters.
+type batchState struct {
+	cfg            uarch.Config
+	width          int
+	dl1Lat         int
+	icPenalty      uint64
+	dcPenalty      uint64
+	stPenalty      uint64
+	redirectBubble uint64
+	icIdx          int
+	btbIdx         int
+	icm            *cacheMember
+	dcm            *cacheMember
+
+	cycles       uint64
+	fetchStalls  uint64
+	memStalls    uint64
+	depStalls    uint64
+	branchStalls uint64
+	decodes      uint64
+	slotOpen     bool
+}
+
+type icKey struct {
+	btbSize, btbAssoc int
+	blockLg           uint32
+}
+
+type icStackKey struct{ setBits, blockLg uint32 }
+
+type dcKey struct{ setBits, blockLg uint32 }
+
+type btbKey struct{ entries, assoc int }
+
+// btbStep advances one BTB geometry over one packed conditional-branch
+// record (pc | position<<32 | taken<<63).
+func btbStep(g *btbGroup, cp uint64) {
+	pc := uint32(cp)
+	j := int(cp >> 32 & 0x7fffffff)
+	taken := cp>>63 != 0
+	if g.step(pc, taken) {
+		g.mispredicts++
+		if g.mispredBits != nil {
+			g.mispredBits.set(j)
+		}
+		if !taken {
+			g.dev.set(j)
+		}
+	}
+}
+
+// log2u32 is the integer base-2 logarithm of a power of two.
+func log2u32(v uint32) uint32 {
+	var n uint32
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// geomBits decomposes a validated cache geometry into set and block bits,
+// panicking on invalid geometry exactly as Simulate's MustNew would.
+func geomBits(sizeBytes, assoc, blockBytes int) (setBits, blockLg uint32) {
+	if err := cache.CheckGeometry(sizeBytes, assoc, blockBytes); err != nil {
+		panic(err)
+	}
+	numSets := sizeBytes / (assoc * blockBytes)
+	for v := numSets; v > 1; v >>= 1 {
+		setBits++
+	}
+	for v := blockBytes; v > 1; v >>= 1 {
+		blockLg++
+	}
+	return setBits, blockLg
+}
+
+// fsDim spans every possible functional-unit stall value: FULat and DistFU
+// are bytes, so FULat-DistFU < 256.
+const fsDim = 256
+
+// SimulateBatch replays the trace on every configuration in one
+// cache-blocked pass over the event array and returns one Result per
+// configuration, in input order. Each Result is bit-identical to
+// Simulate(tr, cfgs[i]).
+func SimulateBatch(tr *trace.Trace, cfgs []uarch.Config) []Result {
+	if len(cfgs) == 0 {
+		return nil
+	}
+	states := make([]batchState, len(cfgs))
+
+	// Shared state, deduplicated by geometry.
+	icIndex := map[icKey]int{}
+	icStackIndex := map[icStackKey]int{}
+	dcIndex := map[dcKey]int{}
+	btbIndex := map[btbKey]int{}
+	lineIndex := map[uint32]int{}
+	var ics []icStream
+	var icStacks []*icStack
+	var dcs []*lruStack
+	var btbs []btbGroup
+	var lineTracks []lineTrack
+	var wide []*batchState // multi-issue configurations, per-event path
+	maxDl1 := 0            // deepest load-use latency among single-issue configs
+
+	for i, cfg := range cfgs {
+		st := &states[i]
+		st.cfg = cfg
+		st.width = cfg.Width
+		if st.width < 1 {
+			st.width = 1
+		}
+		il1Lat := cfg.IL1Latency()
+		st.dl1Lat = cfg.DL1Latency()
+		st.icPenalty = uint64(cfg.MissPenalty(cfg.IL1Block))
+		st.dcPenalty = uint64(cfg.MissPenalty(cfg.DL1Block))
+		st.stPenalty = st.dcPenalty / 2
+		if st.stPenalty < 1 {
+			st.stPenalty = 1
+		}
+		st.redirectBubble = uint64(il1Lat)
+
+		bk := btbKey{cfg.BTBSize, cfg.BTBAssoc}
+		bi, ok := btbIndex[bk]
+		if !ok {
+			// Geometry rules are bpred's; reject bad input the same way
+			// Simulate's MustNew would.
+			if _, err := bpred.New(cfg.BTBSize, cfg.BTBAssoc); err != nil {
+				panic(err)
+			}
+			sets := cfg.BTBSize / cfg.BTBAssoc
+			bi = len(btbs)
+			btbs = append(btbs, btbGroup{
+				entries: make([]uint64, cfg.BTBSize),
+				assoc:   cfg.BTBAssoc,
+				setMask: uint32(sets - 1),
+				setBits: log2u32(uint32(sets)),
+				dev:     newBitset(),
+			})
+			btbIndex[bk] = bi
+		}
+		st.btbIdx = bi
+
+		iSet, iBlk := geomBits(cfg.IL1Size, cfg.IL1Assoc, cfg.IL1Block)
+		li, ok := lineIndex[iBlk]
+		if !ok {
+			li = len(lineTracks)
+			lineTracks = append(lineTracks, lineTrack{
+				blockLg: iBlk, prevLine: ^uint32(0), changed: newBitset(),
+			})
+			lineIndex[iBlk] = li
+		}
+		ik := icKey{cfg.BTBSize, cfg.BTBAssoc, iBlk}
+		ii, ok := icIndex[ik]
+		if !ok {
+			ii = len(ics)
+			ics = append(ics, icStream{
+				btbIdx: bi, lineIdx: li, redirCarry: true,
+				redirBits: newBitset(), accBits: newBitset(),
+			})
+			icIndex[ik] = ii
+		}
+		st.icIdx = ii
+		sk := icStackKey{iSet, iBlk}
+		si, ok := icStackIndex[sk]
+		if !ok {
+			si = len(icStacks)
+			s := &icStack{lineIdx: li}
+			s.stack.setMask = uint32(1)<<iSet - 1
+			s.stack.blockLg = iBlk
+			s.stack.setBits = iSet
+			icStacks = append(icStacks, s)
+			icStackIndex[sk] = si
+		}
+		st.icm = icStacks[si].stack.member(cfg.IL1Assoc)
+
+		dSet, dBlk := geomBits(cfg.DL1Size, cfg.DL1Assoc, cfg.DL1Block)
+		dk := dcKey{dSet, dBlk}
+		di, ok := dcIndex[dk]
+		if !ok {
+			di = len(dcs)
+			dcs = append(dcs, &lruStack{setMask: uint32(1)<<dSet - 1, blockLg: dBlk, setBits: dSet})
+			dcIndex[dk] = di
+		}
+		st.dcm = dcs[di].member(cfg.DL1Assoc)
+
+		if st.width == 1 && st.dl1Lat > maxDl1 {
+			maxDl1 = st.dl1Lat
+		}
+	}
+	for i := range states {
+		if states[i].width != 1 {
+			wide = append(wide, &states[i])
+		}
+	}
+	for _, s := range icStacks {
+		s.stack.finalize()
+	}
+	for _, s := range dcs {
+		s.finalize()
+	}
+	// Per-event outcome bitsets exist only where a multi-issue
+	// configuration will read them back; everyone else keeps counters
+	// alone.
+	var wideMembers []*cacheMember // members whose missBits need per-block clearing
+	for _, st := range wide {
+		for _, m := range []*cacheMember{st.icm, st.dcm} {
+			if m.missBits == nil {
+				m.missBits = newBitset()
+				wideMembers = append(wideMembers, m)
+			}
+		}
+		if btbs[st.btbIdx].mispredBits == nil {
+			btbs[st.btbIdx].mispredBits = newBitset()
+		}
+	}
+	// Dependency-stall histogram for the single-issue closed form:
+	// hist[dl*fsDim+fs] counts events whose nearest load producer is dl
+	// dynamic instructions away (dl = maxDl1 when none is close enough to
+	// stall any sampled configuration) and whose functional-unit stall is
+	// fs cycles. Width 1 makes both quantities configuration-independent.
+	var hist []uint64
+	if maxDl1 > 0 {
+		hist = make([]uint64, (maxDl1+1)*fsDim)
+	}
+
+	// baseRedir marks positions raising the geometry-independent pending
+	// redirect (taken control flow). condList and memList pack the block's
+	// branch and memory events as address | position<<32 | flag<<63 so the
+	// geometry sweeps read one dense, prefetchable word per event instead
+	// of gathering from the event array.
+	baseRedir := newBitset()
+	condList := make([]uint64, 0, blockEvents)
+	memList := make([]uint64, 0, blockEvents)
+	pcList := make([]uint32, 0, blockEvents)
+	var memOps, branches uint64
+	var opCount [256]uint64
+
+	for blockStart := 0; blockStart < len(tr.Events); blockStart += blockEvents {
+		blockEnd := blockStart + blockEvents
+		if blockEnd > len(tr.Events) {
+			blockEnd = len(tr.Events)
+		}
+		evs := tr.Events[blockStart:blockEnd]
+		nb := len(evs)
+		words := (nb + 63) / 64
+		// Mask for the last partial word: the carry shift below may push
+		// one spurious bit past the final event.
+		lastMask := ^uint64(0)
+		if nb&63 != 0 {
+			lastMask = 1<<(nb&63) - 1
+		}
+
+		// Shared sweep: decode every event once, filling the block's
+		// index lists, redirect bits, line-change bits and histogram.
+		baseRedir.clearWords(words)
+		for t := range lineTracks {
+			lineTracks[t].changed.clearWords(words)
+		}
+		for _, m := range wideMembers {
+			m.missBits.clearWords(words)
+		}
+		condList = condList[:0]
+		memList = memList[:0]
+		pcList = pcList[:0]
+		for j := range evs {
+			ev := &evs[j]
+			op := isa.Op(ev.Op)
+			isCond := ev.Flags&trace.FlagCond != 0
+			actual := ev.Flags&trace.FlagTaken != 0
+			pcList = append(pcList, ev.PC)
+			switch {
+			case op == isa.OpLoad:
+				memList = append(memList, uint64(ev.Addr)|uint64(j)<<32)
+			case op == isa.OpStore:
+				memList = append(memList, uint64(ev.Addr)|uint64(j)<<32|1<<63)
+			}
+			if isCond {
+				k := uint64(ev.PC) | uint64(j)<<32
+				if actual {
+					k |= 1 << 63
+				}
+				condList = append(condList, k)
+				if actual {
+					baseRedir.set(j)
+				}
+			} else if op.IsControl() {
+				baseRedir.set(j)
+			}
+			if hist != nil {
+				dl := maxDl1
+				if ev.DistLoad != trace.NoDist && int(ev.DistLoad) < maxDl1 {
+					dl = int(ev.DistLoad)
+				}
+				fs := 0
+				if ev.DistFU != trace.NoDist {
+					if s := int(ev.FULat) - int(ev.DistFU); s > 0 {
+						fs = s
+					}
+				}
+				if dl < maxDl1 || fs > 0 {
+					hist[dl*fsDim+fs]++
+				}
+			}
+			opCount[ev.Op]++
+		}
+		memOps += uint64(len(memList))
+		branches += uint64(len(condList))
+
+		// Line-change detection: one tight pass over the packed PCs per
+		// block size present among the IL1 geometries.
+		for t := range lineTracks {
+			lt := &lineTracks[t]
+			b := lt.blockLg
+			prev := lt.prevLine
+			changed := lt.changed
+			for j, pc := range pcList {
+				line := pc >> b
+				if line != prev {
+					changed.set(j)
+					prev = line
+				}
+			}
+			lt.prevLine = prev
+		}
+
+		// Branch predictors: one fused predict+resolve sweep per BTB
+		// geometry over the block's conditional branches. Geometries are
+		// swept in pairs so their independent table lookups overlap in
+		// the memory pipeline.
+		for k := range btbs {
+			g := &btbs[k]
+			g.dev.clearWords(words)
+			if g.mispredBits != nil {
+				g.mispredBits.clearWords(words)
+			}
+			for _, cp := range condList {
+				btbStep(g, cp)
+			}
+		}
+
+		// Fetch streams: each stream's decisions are pure bit arithmetic
+		// - the pending redirect is the previous position's
+		// (base | deviation) outcome - folded into counters by popcount.
+		for k := range ics {
+			g := &ics[k]
+			dev := btbs[g.btbIdx].dev
+			carry := uint64(0)
+			if g.redirCarry {
+				carry = 1
+			}
+			for w := 0; w < words; w++ {
+				v := baseRedir[w] | dev[w]
+				g.redirBits[w] = v<<1 | carry
+				carry = v >> 63
+			}
+			g.redirCarry = baseRedir.get(nb-1) || dev.get(nb-1)
+			g.redirBits[words-1] &= lastMask
+			changed := lineTracks[g.lineIdx].changed
+			redirs := 0
+			accs := 0
+			for w := 0; w < words; w++ {
+				a := g.redirBits[w] | changed[w]
+				g.accBits[w] = a
+				accs += bits.OnesCount64(a)
+				redirs += bits.OnesCount64(g.redirBits[w])
+			}
+			g.accesses += uint64(accs)
+			g.redirects += uint64(redirs)
+		}
+
+		// Instruction caches: every state-changing access happens at a
+		// line-change position (redirect-only refetches are guaranteed
+		// MRU hits), so each merged stack replays just its block size's
+		// line changes.
+		for _, s := range icStacks {
+			changed := lineTracks[s.lineIdx].changed
+			for w := 0; w < words; w++ {
+				word := changed[w]
+				for word != 0 {
+					j := w<<6 + bits.TrailingZeros64(word)
+					word &= word - 1
+					s.stack.access(pcList[j], j, false, false)
+				}
+			}
+		}
+
+		// Data caches: one sweep per geometry family over the block's
+		// packed memory events.
+		for _, s := range dcs {
+			for _, mp := range memList {
+				s.access(uint32(mp), int(mp>>32&0x7fffffff), mp>>63 != 0, true)
+			}
+		}
+
+		// Multi-issue configurations: full per-event model over the
+		// block, mirroring Simulate statement for statement with the
+		// shared outcomes read back from the bitsets.
+		for _, st := range wide {
+			g := &ics[st.icIdx]
+			bg := &btbs[st.btbIdx]
+			w := st.width
+			prevMem, prevCtl := false, false
+			if blockStart > 0 {
+				pop := isa.Op(tr.Events[blockStart-1].Op)
+				prevMem, prevCtl = pop.IsMem(), pop.IsControl()
+			}
+			for j := range evs {
+				ev := &evs[j]
+				op := isa.Op(ev.Op)
+				isMem := op.IsMem()
+				if g.accBits.get(j) {
+					if st.icm.missBits.get(j) {
+						st.cycles += st.icPenalty
+						st.fetchStalls += st.icPenalty
+					}
+					if g.redirBits.get(j) {
+						st.cycles += st.redirectBubble - 1
+						st.fetchStalls += st.redirectBubble - 1
+					}
+					st.slotOpen = false
+				}
+				var stall uint64
+				if ev.DistLoad != trace.NoDist {
+					elapsed := (int(ev.DistLoad) + w - 1) / w
+					if s := st.dl1Lat - elapsed; s > 0 {
+						stall = uint64(s)
+					}
+				}
+				if ev.DistFU != trace.NoDist {
+					elapsed := (int(ev.DistFU) + w - 1) / w
+					if s := int(ev.FULat) - elapsed; s > 0 && uint64(s) > stall {
+						stall = uint64(s)
+					}
+				}
+				if stall > 0 {
+					st.cycles += stall
+					st.depStalls += stall
+					st.slotOpen = false
+				}
+				pairable := w == 2 && st.slotOpen &&
+					ev.Flags&trace.FlagDepPrev == 0 &&
+					!(prevMem && isMem) && !prevCtl
+				if pairable {
+					st.slotOpen = false
+				} else {
+					st.cycles++
+					st.slotOpen = w == 2
+				}
+				st.decodes++
+				if isMem && st.dcm.missBits.get(j) {
+					p := st.dcPenalty
+					if op == isa.OpStore {
+						p = st.stPenalty
+					}
+					st.cycles += p
+					st.memStalls += p
+				}
+				if ev.Flags&trace.FlagCond != 0 && bg.mispredBits.get(j) {
+					st.cycles += mispredictPenalty
+					st.branchStalls += mispredictPenalty
+					st.decodes += uint64(mispredictPenalty * w / 2)
+				}
+				prevMem, prevCtl = isMem, op.IsControl()
+			}
+		}
+	}
+
+	var aluOps, macOps, shiftOps uint64
+	for op, n := range opCount {
+		if n == 0 {
+			continue
+		}
+		switch o := isa.Op(op); {
+		case o.UsesALU():
+			aluOps += n
+		case o.UsesMAC():
+			macOps += n
+		case o.UsesShifter():
+			shiftOps += n
+		}
+	}
+
+	insns := uint64(len(tr.Events))
+	results := make([]Result, len(cfgs))
+	for i := range states {
+		st := &states[i]
+		res := &results[i]
+		g := &ics[st.icIdx]
+		bg := &btbs[st.btbIdx]
+		res.Config = st.cfg
+		res.Insns = insns
+		res.ICAccesses = g.accesses
+		res.ICMisses = st.icm.misses
+		res.DCAccesses = memOps
+		res.DCMisses = st.dcm.loadMisses + st.dcm.storeMisses
+		res.BTBLookups = branches
+		res.Mispredicts = bg.mispredicts
+		res.Decodes = st.decodes
+		res.RegReads = tr.RegReads
+		res.RegWrites = tr.RegWrites
+		res.ALUOps = aluOps
+		res.MACOps = macOps
+		res.ShiftOps = shiftOps
+
+		if st.width == 1 {
+			// Closed forms: every stall source is (shared count) x
+			// (per-configuration penalty); issue contributes one cycle
+			// per instruction.
+			res.FetchStalls = st.icm.misses*st.icPenalty +
+				g.redirects*(st.redirectBubble-1)
+			res.MemStalls = st.dcm.loadMisses*st.dcPenalty +
+				st.dcm.storeMisses*st.stPenalty
+			res.BranchStalls = bg.mispredicts * mispredictPenalty
+			res.DepStalls = depStallDot(hist, maxDl1, st.dl1Lat)
+			res.Cycles = insns + res.FetchStalls + res.MemStalls +
+				res.DepStalls + res.BranchStalls
+			res.Decodes = insns + bg.mispredicts*uint64(mispredictPenalty/2)
+		} else {
+			res.Cycles = st.cycles
+			res.FetchStalls = st.fetchStalls
+			res.MemStalls = st.memStalls
+			res.DepStalls = st.depStalls
+			res.BranchStalls = st.branchStalls
+		}
+
+		res.EnergyNJ = float64(res.ICAccesses)*st.cfg.IL1Energy() +
+			float64(res.DCAccesses)*st.cfg.DL1Energy() +
+			float64(res.BTBLookups)*st.cfg.BTBEnergy() +
+			float64(res.Insns)*coreEnergyPerInsn +
+			float64(res.Cycles)*coreEnergyPerCycle
+	}
+	return results
+}
+
+// depStallDot folds the dependency histogram with one configuration's
+// load-use latency: stall = max(dl1Lat - dl, fs) clamped at zero, exactly
+// the combination Simulate computes per event at width 1.
+func depStallDot(hist []uint64, maxDl1, dl1Lat int) uint64 {
+	var total uint64
+	for dl := 0; dl <= maxDl1; dl++ {
+		loadStall := 0
+		if dl < maxDl1 && dl1Lat-dl > 0 {
+			loadStall = dl1Lat - dl
+		}
+		row := hist[dl*fsDim : (dl+1)*fsDim]
+		for fs, n := range row {
+			if n == 0 {
+				continue
+			}
+			stall := loadStall
+			if fs > stall {
+				stall = fs
+			}
+			total += n * uint64(stall)
+		}
+	}
+	return total
+}

@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"portcc/internal/core"
+	"portcc/internal/isa"
+	"portcc/internal/opt"
+	"portcc/internal/prog"
+	"portcc/internal/trace"
+	"portcc/internal/uarch"
+)
+
+// sampleArchs draws n distinct configurations, always including the XScale
+// reference point and, when extended, its dual-issue variant.
+func sampleArchs(rng *rand.Rand, n int, extended bool) []uarch.Config {
+	space := uarch.Space{Extended: extended}
+	archs := space.SampleN(rng, n)
+	archs = append(archs, uarch.XScale())
+	if extended {
+		w2 := uarch.XScale()
+		w2.Width = 2
+		w2.FreqMHz = 600
+		archs = append(archs, w2)
+	}
+	return archs
+}
+
+func assertBatchMatches(t *testing.T, tr *trace.Trace, archs []uarch.Config) {
+	t.Helper()
+	batch := SimulateBatch(tr, archs)
+	if len(batch) != len(archs) {
+		t.Fatalf("SimulateBatch returned %d results for %d configs", len(batch), len(archs))
+	}
+	for i, cfg := range archs {
+		want := Simulate(tr, cfg)
+		if batch[i] != want {
+			t.Errorf("config %d (%v):\n batch %+v\n  want %+v", i, cfg, batch[i], want)
+		}
+	}
+}
+
+// TestSimulateBatchMatchesSimulate is the bit-identity property on real
+// program traces: every counter, every stall bucket, every energy value of
+// SimulateBatch must equal sequential Simulate per architecture, over both
+// the base (Table 2) and extended (§7, dual-issue and frequency) spaces.
+func TestSimulateBatchMatchesSimulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	optRng := rand.New(rand.NewSource(7))
+	for _, name := range []string{"gs", "crc", "patricia"} {
+		m := prog.MustBuild(name)
+		cfgs := []opt.Config{opt.O3(), opt.Random(optRng)}
+		for ci := range cfgs {
+			p, err := core.Compile(m, &cfgs[ci])
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := trace.Generate(p, trace.Config{Runs: 1, MaxInsns: 30000, Seed: 3})
+			assertBatchMatches(t, tr, sampleArchs(rng, 16, false))
+			assertBatchMatches(t, tr, sampleArchs(rng, 16, true))
+		}
+	}
+}
+
+// randomTrace synthesises an adversarial event stream: arbitrary operation
+// classes, flags, addresses and dependency distances, including values the
+// trace generator never emits (zero distances, huge FU latencies), so the
+// equivalence holds on the full event domain, not just realistic traces.
+func randomTrace(rng *rand.Rand, n int) *trace.Trace {
+	tr := &trace.Trace{Events: make([]trace.Event, n)}
+	pc := uint32(0x1000)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		op := isa.Op(rng.Intn(isa.NumOps))
+		ev.Op = uint8(op)
+		ev.PC = pc
+		if rng.Intn(8) == 0 {
+			pc = 0x1000 + uint32(rng.Intn(1<<14))*4
+		} else {
+			pc += 4
+		}
+		ev.Addr = uint32(rng.Intn(1 << 20))
+		ev.DistLoad = trace.NoDist
+		ev.DistFU = trace.NoDist
+		if rng.Intn(3) == 0 {
+			ev.DistLoad = uint8(rng.Intn(255))
+		}
+		if rng.Intn(3) == 0 {
+			ev.DistFU = uint8(rng.Intn(255))
+			ev.FULat = uint8(rng.Intn(256))
+		}
+		var flags uint8
+		if rng.Intn(4) == 0 {
+			flags |= trace.FlagCond
+			if rng.Intn(2) == 0 {
+				flags |= trace.FlagTaken
+			}
+		}
+		if rng.Intn(5) == 0 {
+			flags |= trace.FlagDepPrev
+		}
+		ev.Flags = flags
+		tr.OpCount[op]++
+		if op.IsMem() {
+			tr.MemOps++
+		}
+		if flags&trace.FlagCond != 0 {
+			tr.Branches++
+		}
+	}
+	tr.RegReads = uint64(rng.Intn(1000))
+	tr.RegWrites = uint64(rng.Intn(1000))
+	tr.Runs = 1
+	return tr
+}
+
+// TestSimulateBatchRandomTraces fuzzes the equivalence over synthetic
+// traces and architecture samples of varying size.
+func TestSimulateBatchRandomTraces(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 2000+rng.Intn(3000))
+		n := 1 + rng.Intn(24)
+		assertBatchMatches(t, tr, sampleArchs(rng, n, seed%2 == 1))
+	}
+}
+
+// TestSimulateBatchDegenerate covers the edges: no configurations, an
+// empty trace, and duplicate configurations sharing all state.
+func TestSimulateBatchDegenerate(t *testing.T) {
+	if got := SimulateBatch(&trace.Trace{}, nil); got != nil {
+		t.Errorf("empty config list: got %v, want nil", got)
+	}
+	empty := &trace.Trace{}
+	rs := SimulateBatch(empty, []uarch.Config{uarch.XScale()})
+	if rs[0].Cycles != 0 || rs[0].Insns != 0 {
+		t.Errorf("empty trace: got %+v", rs[0])
+	}
+	rng := rand.New(rand.NewSource(1))
+	tr := randomTrace(rng, 1000)
+	dup := []uarch.Config{uarch.XScale(), uarch.XScale(), uarch.XScale()}
+	assertBatchMatches(t, tr, dup)
+}

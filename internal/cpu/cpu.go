@@ -81,11 +81,34 @@ const (
 // cycles, on top of the refetch bubble.
 const mispredictPenalty = 4
 
-// Simulate replays the trace on the configuration.
+// mustCache draws a pooled cache, panicking on bad geometry (values drawn
+// from the Table 2 lists are always valid).
+func mustCache(sizeBytes, assoc, blockBytes int) *cache.Cache {
+	c, err := cache.Get(sizeBytes, assoc, blockBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustBTB draws a pooled BTB, panicking on bad geometry.
+func mustBTB(entries, assoc int) *bpred.BTB {
+	b, err := bpred.Get(entries, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Simulate replays the trace on the configuration. Cache and BTB state is
+// drawn from package pools, so steady-state simulation is allocation-free.
 func Simulate(tr *trace.Trace, cfg uarch.Config) Result {
-	ic := cache.MustNew(cfg.IL1Size, cfg.IL1Assoc, cfg.IL1Block)
-	dc := cache.MustNew(cfg.DL1Size, cfg.DL1Assoc, cfg.DL1Block)
-	btb := bpred.MustNew(cfg.BTBSize, cfg.BTBAssoc)
+	ic := mustCache(cfg.IL1Size, cfg.IL1Assoc, cfg.IL1Block)
+	dc := mustCache(cfg.DL1Size, cfg.DL1Assoc, cfg.DL1Block)
+	btb := mustBTB(cfg.BTBSize, cfg.BTBAssoc)
+	defer cache.Put(ic)
+	defer cache.Put(dc)
+	defer bpred.Put(btb)
 
 	il1Lat := cfg.IL1Latency()
 	dl1Lat := cfg.DL1Latency()

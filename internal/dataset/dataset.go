@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"portcc/internal/features"
 	"portcc/internal/ml"
@@ -93,39 +94,70 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	}
 
 	// One evaluator per worker: the trace cache is tiny and the loop is
-	// ordered per program, so per-worker caches stay hot.
+	// ordered per program, so per-worker caches stay hot. The first
+	// failure stops dispatch - workers drain the channel without burning
+	// compile time on jobs whose results would be discarded - and the
+	// error reported is the failing job with the lowest program index,
+	// not whichever worker slot happened to fail first.
 	type job struct{ p int }
 	jobs := make(chan job)
-	var wg sync.WaitGroup
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstP  int
+		firstE  error
+		stopped atomic.Bool
+	)
+	fail := func(p int, err error) {
+		mu.Lock()
+		if firstE == nil || p < firstP {
+			firstP, firstE = p, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	// Dispatch is in index order, so every job below a failing index has
+	// already been handed out; running those (and only those) after a
+	// failure makes the reported error the lowest failing index among
+	// the dispatched jobs, independent of worker scheduling.
+	skip := func(p int) bool {
+		if !stopped.Load() {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return firstE != nil && p > firstP
+	}
 	workers := runtime.GOMAXPROCS(0)
-	errs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			ev := NewEvaluator(cfg.Eval)
 			for j := range jobs {
-				if err := generateProgram(ds, ev, j.p); err != nil && errs[w] == nil {
-					errs[w] = err
+				if skip(j.p) {
+					continue
+				}
+				if err := generateProgram(ds, ev, j.p); err != nil {
+					fail(j.p, err)
 				}
 			}
-		}(w)
+		}()
 	}
-	for p := 0; p < nP; p++ {
+	for p := 0; p < nP && !stopped.Load(); p++ {
 		jobs <- job{p: p}
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstE != nil {
+		return nil, firstE
 	}
 	return ds, nil
 }
 
 // generateProgram fills one program's slice of the dataset: cycles of every
-// setting on every architecture, plus -O3 features.
+// setting on every architecture, plus -O3 features. Each compiled trace is
+// replayed over all architectures in one batched pass.
 func generateProgram(ds *Dataset, ev *Evaluator, p int) error {
 	name := ds.Programs[p]
 	nA, nO := len(ds.Archs), len(ds.Opts)
@@ -140,13 +172,14 @@ func generateProgram(ds *Dataset, ev *Evaluator, p int) error {
 		if runs < 1 {
 			runs = 1
 		}
+		results := ev.SimulateBatch(tr, ds.Archs)
 		for a := 0; a < nA; a++ {
-			r := ev.simulate(tr, ds.Archs[a])
+			r := &results[a]
 			cyc := float64(r.Cycles) / float64(runs)
 			if o == 0 {
 				baseline[a] = cyc
 				ds.Speedups[p][a][0] = 1
-				ds.Features[p][a] = features.Vector(ds.Archs[a], &r)
+				ds.Features[p][a] = features.Vector(ds.Archs[a], r)
 				ds.BaselineCycles[p][a] = cyc
 				ds.Runs[p] = runs
 			} else {

@@ -100,15 +100,21 @@ func (e *Evaluator) module(name string) (*ir.Module, error) {
 
 // runsFor determines the per-program complete-run count from a probe of
 // the -O3 binary, so every setting of the program does identical work.
-func (e *Evaluator) runsFor(name string, m *ir.Module) (int, error) {
+// The probe compiles -O3 anyway, so on first computation the compiled
+// binary and probe trace are returned for the caller to seed the trace
+// cache with - the almost-certain next request, Trace(name, O3), then
+// costs nothing instead of recompiling the probe's binary. Called with
+// e.mu held.
+func (e *Evaluator) runsFor(name string, m *ir.Module) (int, *codegen.Program, *trace.Trace, error) {
 	if r, ok := e.runs[name]; ok {
-		return r, nil
+		return r, nil, nil, nil
 	}
 	o3 := opt.O3()
 	p, err := core.Compile(m, &o3)
 	if err != nil {
-		return 0, err
+		return 0, nil, nil, err
 	}
+	e.Compiles++
 	probe := trace.Generate(p, trace.Config{Runs: 1, MaxInsns: e.cfg.MaxInsns, Seed: e.cfg.Seed})
 	perRun := probe.Insns()
 	if perRun < 1 {
@@ -122,7 +128,22 @@ func (e *Evaluator) runsFor(name string, m *ir.Module) (int, error) {
 		r = 8
 	}
 	e.runs[name] = r
-	return r, nil
+	return r, p, probe, nil
+}
+
+// insertTrace caches a compiled trace under key, evicting in FIFO order.
+// Called with e.mu held.
+func (e *Evaluator) insertTrace(key string, tr *trace.Trace, p *codegen.Program) {
+	if _, ok := e.traces[key]; ok {
+		return
+	}
+	e.traces[key] = &cachedTrace{tr: tr, prog: p}
+	e.order = append(e.order, key)
+	for len(e.order) > traceCacheSize {
+		old := e.order[0]
+		e.order = e.order[1:]
+		delete(e.traces, old)
+	}
 }
 
 // Trace returns the dynamic trace of the program compiled under c, cached.
@@ -138,12 +159,31 @@ func (e *Evaluator) Trace(name string, c *opt.Config) (*trace.Trace, *codegen.Pr
 		e.mu.Unlock()
 		return nil, nil, err
 	}
-	runs, err := e.runsFor(name, m)
+	runs, o3Prog, o3Probe, err := e.runsFor(name, m)
 	if err != nil {
 		e.mu.Unlock()
 		return nil, nil, err
 	}
 	e.mu.Unlock()
+
+	// Seed the cache from runsFor's -O3 probe compile, generating the
+	// full-length trace outside the lock (the probe already is that
+	// trace when the run count is 1). An -O3 request is then satisfied
+	// without compiling again.
+	if o3Prog != nil {
+		o3Trace := o3Probe
+		if runs != 1 {
+			o3Trace = trace.Generate(o3Prog, trace.Config{Runs: runs, MaxInsns: e.cfg.MaxInsns, Seed: e.cfg.Seed})
+		}
+		o3 := opt.O3()
+		e.mu.Lock()
+		e.insertTrace(name+"/"+o3.Key(), o3Trace, o3Prog)
+		ct, ok := e.traces[key]
+		e.mu.Unlock()
+		if ok {
+			return ct.tr, ct.prog, nil
+		}
+	}
 
 	// Compile and trace outside the lock (the expensive part).
 	p, err := core.Compile(m, c)
@@ -154,17 +194,21 @@ func (e *Evaluator) Trace(name string, c *opt.Config) (*trace.Trace, *codegen.Pr
 
 	e.mu.Lock()
 	e.Compiles++
-	if _, ok := e.traces[key]; !ok {
-		e.traces[key] = &cachedTrace{tr: tr, prog: p}
-		e.order = append(e.order, key)
-		for len(e.order) > traceCacheSize {
-			old := e.order[0]
-			e.order = e.order[1:]
-			delete(e.traces, old)
-		}
-	}
+	e.insertTrace(key, tr, p)
 	e.mu.Unlock()
 	return tr, p, nil
+}
+
+// SimulateBatch replays an already-generated trace on every architecture
+// through the batched single-pass engine, returning one result per
+// architecture in input order (bit-identical to SimulateTrace per
+// architecture).
+func (e *Evaluator) SimulateBatch(tr *trace.Trace, archs []uarch.Config) []cpu.Result {
+	rs := cpu.SimulateBatch(tr, archs)
+	e.mu.Lock()
+	e.Simulations += len(archs)
+	e.mu.Unlock()
+	return rs
 }
 
 // SimulateTrace replays an already-generated trace on an architecture.
@@ -187,11 +231,7 @@ func (e *Evaluator) Run(name string, c *opt.Config, a uarch.Config) (cpu.Result,
 	if err != nil {
 		return cpu.Result{}, err
 	}
-	r := cpu.Simulate(tr, a)
-	e.mu.Lock()
-	e.Simulations++
-	e.mu.Unlock()
-	return r, nil
+	return e.simulate(tr, a), nil
 }
 
 // CyclesPerRun returns cycles normalised by complete program runs, the
@@ -201,10 +241,7 @@ func (e *Evaluator) CyclesPerRun(name string, c *opt.Config, a uarch.Config) (fl
 	if err != nil {
 		return 0, err
 	}
-	r := cpu.Simulate(tr, a)
-	e.mu.Lock()
-	e.Simulations++
-	e.mu.Unlock()
+	r := e.simulate(tr, a)
 	runs := tr.Runs
 	if runs < 1 {
 		runs = 1

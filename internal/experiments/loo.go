@@ -2,10 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"portcc/internal/dataset"
 	"portcc/internal/ml"
 	"portcc/internal/opt"
+	"portcc/internal/uarch"
 )
 
 // Predictions holds the leave-one-out model evaluation over a dataset:
@@ -40,52 +44,120 @@ func PredictWith(ds *dataset.Dataset, k int, beta float64) (*Predictions, error)
 	model := ml.Train(pairs)
 	model.KNeighbours = k
 	model.BetaValue = beta
-	nP, nA, _ := ds.Dims()
+	nP, _, _ := ds.Dims()
 	pr := &Predictions{
 		DS:      ds,
 		Config:  make([][]opt.Config, nP),
 		Speedup: make([][]float64, nP),
 		Best:    make([][]float64, nP),
 	}
-	ev := dataset.NewEvaluator(ds.Cfg.Eval)
-	for p := 0; p < nP; p++ {
-		pr.Config[p] = make([]opt.Config, nA)
-		pr.Speedup[p] = make([]float64, nA)
-		pr.Best[p] = make([]float64, nA)
-		// Predict for every architecture, grouping identical
-		// configurations.
-		groups := map[string][]int{}
-		var orderKeys []string
-		for a := 0; a < nA; a++ {
-			cfg := model.Predict(ds.Features[p][a], ml.Exclude{Prog: ds.Programs[p], Arch: a})
-			pr.Config[p][a] = cfg
-			k := cfg.Key()
-			if _, ok := groups[k]; !ok {
-				orderKeys = append(orderKeys, k)
-			}
-			groups[k] = append(groups[k], a)
-			pr.Best[p][a], _ = ds.BestSpeedup(p, a)
+	// The per-program evaluations are independent: a worker pool spreads
+	// the compile + batched-replay work over the machine, with one
+	// evaluator per worker so trace caches stay private and hot. The
+	// first failure stops dispatch, and the error reported is the one
+	// with the lowest program index.
+	jobs := make(chan int)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstP  int
+		firstE  error
+		stopped atomic.Bool
+	)
+	fail := func(p int, err error) {
+		mu.Lock()
+		if firstE == nil || p < firstP {
+			firstP, firstE = p, err
 		}
-		for _, k := range orderKeys {
-			archs := groups[k]
-			cfg, err := opt.ParseKey(k)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: bad config key: %w", err)
-			}
-			tr, _, err := ev.Trace(ds.Programs[p], &cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: evaluating prediction for %s: %w", ds.Programs[p], err)
-			}
-			runs := tr.Runs
-			if runs < 1 {
-				runs = 1
-			}
-			for _, a := range archs {
-				r := ev.SimulateTrace(tr, ds.Archs[a])
-				cyc := float64(r.Cycles) / float64(runs)
-				pr.Speedup[p][a] = ds.BaselineCycles[p][a] / cyc
-			}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	// Dispatch is in index order, so every job below a failing index has
+	// already been handed out; running those (and only those) after a
+	// failure makes the reported error the lowest failing index among
+	// the dispatched jobs, independent of worker scheduling.
+	skip := func(p int) bool {
+		if !stopped.Load() {
+			return false
 		}
+		mu.Lock()
+		defer mu.Unlock()
+		return firstE != nil && p > firstP
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nP {
+		workers = nP
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := dataset.NewEvaluator(ds.Cfg.Eval)
+			for p := range jobs {
+				if skip(p) {
+					continue
+				}
+				if err := predictProgram(ds, model, ev, pr, p); err != nil {
+					fail(p, err)
+				}
+			}
+		}()
+	}
+	for p := 0; p < nP && !stopped.Load(); p++ {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	if firstE != nil {
+		return nil, firstE
 	}
 	return pr, nil
+}
+
+// predictProgram fills one program's row of the leave-one-out evaluation:
+// predict per architecture, deduplicate the predicted configurations, and
+// compile + batch-replay each distinct binary over the architectures that
+// chose it.
+func predictProgram(ds *dataset.Dataset, model *ml.Model, ev *dataset.Evaluator, pr *Predictions, p int) error {
+	_, nA, _ := ds.Dims()
+	pr.Config[p] = make([]opt.Config, nA)
+	pr.Speedup[p] = make([]float64, nA)
+	pr.Best[p] = make([]float64, nA)
+	groups := map[string][]int{}
+	var orderKeys []string
+	for a := 0; a < nA; a++ {
+		cfg := model.Predict(ds.Features[p][a], ml.Exclude{Prog: ds.Programs[p], Arch: a})
+		pr.Config[p][a] = cfg
+		k := cfg.Key()
+		if _, ok := groups[k]; !ok {
+			orderKeys = append(orderKeys, k)
+		}
+		groups[k] = append(groups[k], a)
+		pr.Best[p][a], _ = ds.BestSpeedup(p, a)
+	}
+	for _, k := range orderKeys {
+		archIdx := groups[k]
+		cfg, err := opt.ParseKey(k)
+		if err != nil {
+			return fmt.Errorf("experiments: bad config key: %w", err)
+		}
+		tr, _, err := ev.Trace(ds.Programs[p], &cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: evaluating prediction for %s: %w", ds.Programs[p], err)
+		}
+		runs := tr.Runs
+		if runs < 1 {
+			runs = 1
+		}
+		archs := make([]uarch.Config, len(archIdx))
+		for i, a := range archIdx {
+			archs[i] = ds.Archs[a]
+		}
+		results := ev.SimulateBatch(tr, archs)
+		for i, a := range archIdx {
+			cyc := float64(results[i].Cycles) / float64(runs)
+			pr.Speedup[p][a] = ds.BaselineCycles[p][a] / cyc
+		}
+	}
+	return nil
 }

@@ -95,6 +95,19 @@ func (c *Compiler) Run(program string, cfg OptConfig, arch Arch) (RunResult, err
 	return c.ev.Run(program, &cfg, arch)
 }
 
+// RunBatch compiles the program once and replays its trace on every
+// architecture in a single batched pass (bit-identical to calling Run per
+// architecture, but the trace is streamed once and cache/BTB state is
+// deduplicated by geometry). This is the fast path for design-space
+// exploration: one binary, many microarchitectures.
+func (c *Compiler) RunBatch(program string, cfg OptConfig, archs []Arch) ([]RunResult, error) {
+	tr, _, err := c.ev.Trace(program, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.ev.SimulateBatch(tr, archs), nil
+}
+
 // CyclesPerRun returns the work-normalised execution time (cycles per
 // complete program run), the metric speedups are computed from.
 func (c *Compiler) CyclesPerRun(program string, cfg OptConfig, arch Arch) (float64, error) {
