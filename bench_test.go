@@ -10,6 +10,7 @@
 package portcc_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -55,7 +56,7 @@ func benchData(b *testing.B) (*dataset.Dataset, *experiments.Predictions) {
 			benchErr = err
 			return
 		}
-		pr, err := experiments.Predict(ds)
+		pr, err := experiments.Predict(context.Background(), ds)
 		if err != nil {
 			benchErr = err
 			return
@@ -212,7 +213,7 @@ func BenchmarkFigure10Extended(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		pr, err := experiments.Predict(ds)
+		pr, err := experiments.Predict(context.Background(), ds)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +242,7 @@ func BenchmarkAblationK(b *testing.B) {
 	var ab *experiments.AblationResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		ab, err = experiments.Ablation(ds)
+		ab, err = experiments.Ablation(context.Background(), ds, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -14,14 +14,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 
 	"portcc"
-	"portcc/internal/dataset"
+	"portcc/internal/cliutil"
 	"portcc/internal/features"
-	"portcc/internal/uarch"
 )
 
 func main() {
@@ -37,6 +37,9 @@ func main() {
 	list := flag.Bool("list", false, "list available benchmark programs")
 	flag.Parse()
 
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
 	if *list {
 		for _, n := range portcc.Programs() {
 			fmt.Println(n)
@@ -44,7 +47,7 @@ func main() {
 		return
 	}
 
-	arch := uarch.XScale()
+	arch := portcc.XScale()
 	arch.IL1Size = *il1
 	arch.IL1Assoc = *il1Assoc
 	arch.DL1Size = *dl1
@@ -54,11 +57,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	c := portcc.New()
+	s := portcc.NewSession()
 	cfg := portcc.O3()
 	how := "-O3 (no model)"
 	if *modelFile != "" {
-		ds, err := dataset.Load(*modelFile)
+		ds, err := portcc.LoadDataset(*modelFile)
+		if errors.Is(err, portcc.ErrDatasetVersion) {
+			log.Fatalf("%v\n(regenerate the file with this build's cmd/trainer)", err)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,22 +72,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg, err = c.OptimizeFor(*progName, arch, model)
+		cfg, err = s.OptimizeFor(ctx, *progName, arch, model)
 		if err != nil {
 			log.Fatal(err)
 		}
 		how = "model-predicted passes (one -O3 profile run)"
 	}
 
-	bin, err := c.Compile(*progName, cfg)
+	bin, err := s.Compile(ctx, *progName, cfg)
+	if err != nil {
+		if errors.Is(err, portcc.ErrUnknownProgram) {
+			log.Fatalf("%v (use -list for the benchmark suite)", err)
+		}
+		log.Fatal(err)
+	}
+	res, err := s.Run(ctx, *progName, cfg, arch)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := c.Run(*progName, cfg, arch)
-	if err != nil {
-		log.Fatal(err)
-	}
-	speedup, err := c.Speedup(*progName, cfg, arch)
+	speedup, err := s.Speedup(ctx, *progName, cfg, arch)
 	if err != nil {
 		log.Fatal(err)
 	}

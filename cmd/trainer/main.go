@@ -1,19 +1,24 @@
 // Command trainer generates the paper's training dataset (Section 3.2):
 // for every sampled (program, microarchitecture, optimisation setting)
 // triple, the speedup over -O3 and the -O3 performance counters. The
-// result is written with gob encoding for cmd/portcc and cmd/expgen.
+// result is written as a versioned gob file for cmd/portcc and cmd/expgen.
+// Generation streams through the Session exploration engine: progress is
+// printed per completed grid cell and Ctrl-C cancels cleanly.
 //
 // Usage:
 //
-//	trainer -out dataset.gob [-scale small] [-archs N] [-opts N] [-extended]
+//	trainer -out dataset.gob [-scale small] [-archs N] [-opts N] [-extended] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"portcc"
+	"portcc/internal/cliutil"
 	"portcc/internal/experiments"
 )
 
@@ -25,9 +30,13 @@ func main() {
 	archs := flag.Int("archs", 0, "override architecture sample count")
 	opts := flag.Int("opts", 0, "override optimisation sample count")
 	extended := flag.Bool("extended", false, "use the Section 7 extended space")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	scale, ok := map[string]experiments.Scale{
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	scale, ok := map[string]portcc.Scale{
 		"tiny": experiments.Tiny, "small": experiments.Small,
 		"medium": experiments.Medium, "paper": experiments.Paper,
 	}[*scaleName]
@@ -41,11 +50,19 @@ func main() {
 		scale.NumOpts = *opts
 	}
 
+	report, finishProgress := cliutil.ProgressPrinter(os.Stderr)
+	session := portcc.NewSession(
+		portcc.WithScale(scale),
+		portcc.WithWorkers(*workers),
+		portcc.WithProgress(func(p portcc.Progress) { report(p.Done, p.Total) }),
+	)
+
 	start := time.Now()
 	gc := scale.GenConfig(*extended)
 	fmt.Printf("generating %s dataset: %d programs x %d archs x %d settings (extended=%v)\n",
 		scale.Name, len(gc.Programs), scale.NumArchs, scale.NumOpts, *extended)
-	ds, err := scale.Dataset(*extended)
+	ds, err := session.GenerateDataset(ctx, *extended)
+	finishProgress()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,35 @@
+package portcc
+
+import "portcc/internal/pcerr"
+
+// The typed error vocabulary of the public API. Every long-running
+// operation returns errors that discriminate with errors.Is/errors.As
+// instead of requiring message matching:
+//
+//	_, err := s.Run(ctx, "no-such-benchmark", portcc.O3(), arch)
+//	if errors.Is(err, portcc.ErrUnknownProgram) { ... }
+//
+//	var se *portcc.SimError
+//	if errors.As(err, &se) { log.Printf("cell (%s, %d, %d) failed", se.Program, se.Setting, se.Arch) }
+var (
+	// ErrUnknownProgram reports a benchmark name outside the 35-program
+	// suite (see Programs).
+	ErrUnknownProgram = pcerr.ErrUnknownProgram
+	// ErrInvalidConfig reports an optimisation setting,
+	// microarchitecture or request outside its legal space.
+	ErrInvalidConfig = pcerr.ErrInvalidConfig
+	// ErrDatasetVersion reports a dataset file whose schema version does
+	// not match this build (LoadDataset).
+	ErrDatasetVersion = pcerr.ErrDatasetVersion
+)
+
+type (
+	// SimError locates a failure inside an exploration grid: program
+	// name, optimisation-setting index, and the first architecture index
+	// of the failing batch (-1 where unknown).
+	SimError = pcerr.SimError
+	// PartialError reports work stopped early - typically by context
+	// cancellation - carrying how many of the total work cells finished.
+	// It wraps the cause, so errors.Is(err, context.Canceled) holds.
+	PartialError = pcerr.PartialError
+)

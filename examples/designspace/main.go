@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +24,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Train the model once, at a small sampling scale (a real deployment
-	// would reuse a dataset from cmd/trainer).
-	scale := portcc.TinyScale()
-	ds, err := scale.Dataset(false)
+	// would reuse a dataset from cmd/trainer). The same tiny-scale
+	// session also measures the sweep below with shortened traces -
+	// illustrative numbers, fast demo.
+	s := portcc.NewSession(portcc.WithScale(portcc.TinyScale()))
+	ds, err := s.GenerateDataset(ctx, false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +39,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	compiler := portcc.New()
 
 	const program = "rijndael_e"
 	fmt.Printf("design sweep: %s, instruction cache 4K..128K\n", program)
@@ -45,15 +49,15 @@ func main() {
 		arch.IL1Assoc = 4
 
 		o3 := portcc.O3()
-		base, err := compiler.CyclesPerRun(program, o3, arch)
+		base, err := s.CyclesPerRun(ctx, program, o3, arch)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg, err := compiler.OptimizeFor(program, arch, model)
+		cfg, err := s.OptimizeFor(ctx, program, arch, model)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tuned, err := compiler.CyclesPerRun(program, cfg, arch)
+		tuned, err := s.CyclesPerRun(ctx, program, cfg, arch)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,14 +15,15 @@ import (
 )
 
 func main() {
-	scale := portcc.TinyScale()
+	ctx := context.Background()
+	s := portcc.NewSession(portcc.WithScale(portcc.TinyScale()))
 
 	run := func(extended bool) (model, best float64) {
-		ds, err := scale.Dataset(extended)
+		ds, err := s.GenerateDataset(ctx, extended)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pr, err := experiments.Predict(ds)
+		pr, err := experiments.Predict(ctx, ds)
 		if err != nil {
 			log.Fatal(err)
 		}

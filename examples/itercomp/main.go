@@ -3,9 +3,14 @@
 // random search, hill climbing and a genetic algorithm over the
 // optimisation space, then show how many evaluations each needs to match
 // what the model achieves after a single -O3 profiling run.
+//
+// The search objective is Session.Speedup: its -O3 denominator is
+// memoised per (program, architecture), so the hundreds of candidate
+// evaluations pay for exactly one baseline simulation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,26 +22,26 @@ import (
 
 func main() {
 	const program = "search"
+	ctx := context.Background()
 	arch := portcc.XScale()
 	arch.IL1Size = 8 << 10
 	arch.IL1Assoc = 4
 
-	compiler := portcc.New()
-	o3 := portcc.O3()
-	base, err := compiler.CyclesPerRun(program, o3, arch)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// One session at the tiny scale drives both training and the search
+	// objective: measurements use TinyScale's shortened traces, so the
+	// printed numbers are illustrative, trading fidelity for a fast
+	// demo (the paper-style protocol would use full-length traces).
+	s := portcc.NewSession(portcc.WithScale(portcc.TinyScale()))
 	objective := func(c *opt.Config) float64 {
-		cyc, err := compiler.CyclesPerRun(program, *c, arch)
+		speedup, err := s.Speedup(ctx, program, *c, arch)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return base / cyc
+		return speedup
 	}
 
 	// The model's single-profile-run prediction.
-	ds, err := portcc.TinyScale().Dataset(false)
+	ds, err := s.GenerateDataset(ctx, false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg, err := compiler.OptimizeFor(program, arch, model)
+	cfg, err := s.OptimizeFor(ctx, program, arch, model)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +58,7 @@ func main() {
 	fmt.Printf("model (1 profile run): %.3fx vs -O3\n\n", modelSpeedup)
 
 	const evals = 200
-	for _, s := range []struct {
+	for _, alg := range []struct {
 		name string
 		run  func(search.Objective, int, *rand.Rand) search.Result
 	}{
@@ -62,14 +67,14 @@ func main() {
 		{"genetic algorithm", search.Genetic},
 	} {
 		rng := rand.New(rand.NewSource(7))
-		res := s.run(objective, evals, rng)
+		res := alg.run(objective, evals, rng)
 		toMatch := search.EvalsToReach(res.Curve, modelSpeedup)
 		match := fmt.Sprintf("%d evaluations", toMatch)
 		if toMatch < 0 {
 			match = fmt.Sprintf("not matched in %d evaluations", evals)
 		}
 		fmt.Printf("%-18s best %.3fx after %d evals; model matched after %s\n",
-			s.name, res.BestScore, res.Evals, match)
+			alg.name, res.BestScore, res.Evals, match)
 	}
 	fmt.Println("\n(The paper reports iterative compilation needing ~50 evaluations")
 	fmt.Println(" on average to match the model's one-run performance.)")

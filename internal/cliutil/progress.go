@@ -1,0 +1,49 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+)
+
+// SignalContext returns a context cancelled by the first SIGINT, for
+// graceful shutdown: long-running pools drain, and single-shot Session
+// calls stop at their next entry boundary. After the first interrupt the
+// default handler is restored, so a second Ctrl-C force-kills instead of
+// being swallowed while work winds down. The returned stop releases the
+// signal registration.
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
+
+// ProgressPrinter returns a report callback that rewrites one terminal
+// status line per completed exploration cell, plus a finish func that
+// terminates the line if it is still open. Call finish before printing
+// anything else (errors included) after a run that may have stopped
+// early, so the message does not land on the half-drawn line; it is a
+// no-op when the line already completed.
+func ProgressPrinter(w io.Writer) (report func(done, total int), finish func()) {
+	open := false
+	report = func(done, total int) {
+		fmt.Fprintf(w, "\rexploring: %d/%d cells (%.0f%%)", done, total, 100*float64(done)/float64(total))
+		open = done != total
+		if !open {
+			fmt.Fprintln(w)
+		}
+	}
+	finish = func() {
+		if open {
+			fmt.Fprintln(w)
+			open = false
+		}
+	}
+	return report, finish
+}

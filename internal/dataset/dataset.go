@@ -1,17 +1,16 @@
 package dataset
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"portcc/internal/features"
 	"portcc/internal/ml"
 	"portcc/internal/opt"
+	"portcc/internal/pcerr"
 	"portcc/internal/uarch"
 )
 
@@ -51,34 +50,63 @@ type Dataset struct {
 	Runs []int
 }
 
-// Generate produces the dataset, parallelising across (program, setting)
-// pairs; each compiled trace is replayed over every architecture.
-func Generate(cfg GenConfig) (*Dataset, error) {
+// Request converts the generation config into the exploration work grid
+// it expands to: -O3 plus the sampled optimisation settings of every
+// program, replayed over the sampled architectures.
+func (cfg GenConfig) Request() (ExploreRequest, error) {
 	if len(cfg.Programs) == 0 {
-		return nil, fmt.Errorf("dataset: no programs")
+		return ExploreRequest{}, fmt.Errorf("dataset: %w: no programs", pcerr.ErrInvalidConfig)
 	}
 	if cfg.NumArchs <= 0 || cfg.NumOpts <= 0 {
-		return nil, fmt.Errorf("dataset: NumArchs and NumOpts must be positive")
+		return ExploreRequest{}, fmt.Errorf("dataset: %w: NumArchs and NumOpts must be positive", pcerr.ErrInvalidConfig)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	space := uarch.Space{Extended: cfg.Extended}
-	ds := &Dataset{
-		Cfg:      cfg,
+	req := ExploreRequest{
 		Programs: append([]string(nil), cfg.Programs...),
 		Archs:    space.SampleN(rng, cfg.NumArchs),
 		Opts:     make([]opt.Config, 0, cfg.NumOpts+1),
+		Eval:     cfg.Eval,
 	}
-	ds.Opts = append(ds.Opts, opt.O3())
+	req.Opts = append(req.Opts, opt.O3())
 	optRng := rand.New(rand.NewSource(cfg.Seed + 1))
-	seen := map[string]bool{ds.Opts[0].Key(): true}
-	for len(ds.Opts) < cfg.NumOpts+1 {
+	seen := map[string]bool{req.Opts[0].Key(): true}
+	for len(req.Opts) < cfg.NumOpts+1 {
 		c := opt.Random(optRng)
 		if k := c.Key(); !seen[k] {
 			seen[k] = true
-			ds.Opts = append(ds.Opts, c)
+			req.Opts = append(req.Opts, c)
 		}
 	}
+	if err := req.Validate(); err != nil {
+		return ExploreRequest{}, err
+	}
+	return req, nil
+}
 
+// Generate produces the dataset, parallelising across (program, setting)
+// cells; each compiled trace is replayed over every architecture. It
+// honours ctx: on cancellation the worker pool drains and the error wraps
+// ctx.Err() with partial-progress counts.
+func Generate(ctx context.Context, cfg GenConfig) (*Dataset, error) {
+	return GenerateWith(ctx, cfg, ExploreOptions{})
+}
+
+// GenerateWith is Generate with explicit execution options (worker count,
+// progress callback). It is a thin consumer of the streaming Explore
+// engine: the grid cells arrive in completion order and are folded into
+// the dataset arrays, with speedups derived once the stream completes.
+func GenerateWith(ctx context.Context, cfg GenConfig, o ExploreOptions) (*Dataset, error) {
+	req, err := cfg.Request()
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Cfg:      cfg,
+		Programs: req.Programs,
+		Archs:    req.Archs,
+		Opts:     req.Opts,
+	}
 	nP, nA, nO := len(ds.Programs), len(ds.Archs), len(ds.Opts)
 	ds.Speedups = make([][][]float32, nP)
 	ds.Features = make([][][]float64, nP)
@@ -92,102 +120,49 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 			ds.Speedups[p][a] = make([]float32, nO)
 		}
 	}
-
-	// One evaluator per worker: the trace cache is tiny and the loop is
-	// ordered per program, so per-worker caches stay hot. The first
-	// failure stops dispatch - workers drain the channel without burning
-	// compile time on jobs whose results would be discarded - and the
-	// error reported is the failing job with the lowest program index,
-	// not whichever worker slot happened to fail first.
-	type job struct{ p int }
-	jobs := make(chan job)
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstP  int
-		firstE  error
-		stopped atomic.Bool
-	)
-	fail := func(p int, err error) {
-		mu.Lock()
-		if firstE == nil || p < firstP {
-			firstP, firstE = p, err
-		}
-		mu.Unlock()
-		stopped.Store(true)
+	// Cells arrive in completion order, so raw cycles are buffered until
+	// a program's grid is complete, then folded into speedups and freed:
+	// peak extra memory is bounded by the programs in flight, not the
+	// whole nP x nA x nO cube.
+	cyc := make([][][]float64, nP)
+	remaining := make([]int, nP)
+	cellsPerProgram := req.Cells() / nP
+	for p := range remaining {
+		remaining[p] = cellsPerProgram
 	}
-	// Dispatch is in index order, so every job below a failing index has
-	// already been handed out; running those (and only those) after a
-	// failure makes the reported error the lowest failing index among
-	// the dispatched jobs, independent of worker scheduling.
-	skip := func(p int) bool {
-		if !stopped.Load() {
-			return false
+	for res, err := range Explore(ctx, req, o) {
+		if err != nil {
+			return nil, err
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		return firstE != nil && p > firstP
-	}
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ev := NewEvaluator(cfg.Eval)
-			for j := range jobs {
-				if skip(j.p) {
-					continue
-				}
-				if err := generateProgram(ds, ev, j.p); err != nil {
-					fail(j.p, err)
+		p := res.ProgIndex
+		if cyc[p] == nil {
+			cyc[p] = make([][]float64, nA)
+			for a := range cyc[p] {
+				cyc[p][a] = make([]float64, nO)
+			}
+		}
+		for i := range res.Results {
+			r := &res.Results[i]
+			a := res.ArchStart + i
+			c := float64(r.Cycles) / float64(res.Runs)
+			cyc[p][a][res.OptIndex] = c
+			if res.OptIndex == 0 {
+				ds.Features[p][a] = features.Vector(ds.Archs[a], r)
+				ds.BaselineCycles[p][a] = c
+				ds.Runs[p] = res.Runs
+			}
+		}
+		if remaining[p]--; remaining[p] == 0 {
+			for a := range cyc[p] {
+				ds.Speedups[p][a][0] = 1
+				for o := 1; o < nO; o++ {
+					ds.Speedups[p][a][o] = float32(cyc[p][a][0] / cyc[p][a][o])
 				}
 			}
-		}()
-	}
-	for p := 0; p < nP && !stopped.Load(); p++ {
-		jobs <- job{p: p}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstE != nil {
-		return nil, firstE
+			cyc[p] = nil
+		}
 	}
 	return ds, nil
-}
-
-// generateProgram fills one program's slice of the dataset: cycles of every
-// setting on every architecture, plus -O3 features. Each compiled trace is
-// replayed over all architectures in one batched pass.
-func generateProgram(ds *Dataset, ev *Evaluator, p int) error {
-	name := ds.Programs[p]
-	nA, nO := len(ds.Archs), len(ds.Opts)
-	baseline := make([]float64, nA)
-	for o := 0; o < nO; o++ {
-		c := ds.Opts[o]
-		tr, _, err := ev.Trace(name, &c)
-		if err != nil {
-			return fmt.Errorf("dataset: %s opt %d: %w", name, o, err)
-		}
-		runs := tr.Runs
-		if runs < 1 {
-			runs = 1
-		}
-		results := ev.SimulateBatch(tr, ds.Archs)
-		for a := 0; a < nA; a++ {
-			r := &results[a]
-			cyc := float64(r.Cycles) / float64(runs)
-			if o == 0 {
-				baseline[a] = cyc
-				ds.Speedups[p][a][0] = 1
-				ds.Features[p][a] = features.Vector(ds.Archs[a], r)
-				ds.BaselineCycles[p][a] = cyc
-				ds.Runs[p] = runs
-			} else {
-				ds.Speedups[p][a][o] = float32(baseline[a] / cyc)
-			}
-		}
-	}
-	return nil
 }
 
 // Pair returns program and architecture counts.
@@ -234,25 +209,64 @@ func (d *Dataset) TrainingPairs() ([]ml.TrainingPair, error) {
 	return pairs, nil
 }
 
-// Save writes the dataset with gob encoding.
+// FormatVersion is the dataset file schema version. Bump it whenever the
+// gob layout of Dataset (or anything it embeds) changes incompatibly;
+// Load refuses mismatching files with ErrDatasetVersion instead of
+// surfacing a confusing mid-stream gob decode error. Work units shipped
+// between shards carry the same header.
+const FormatVersion = 1
+
+// fileMagic identifies a versioned portcc dataset file.
+const fileMagic = "portcc-dataset"
+
+// fileHeader precedes the dataset in the gob stream.
+type fileHeader struct {
+	Magic   string
+	Version int
+}
+
+// Save writes the dataset with gob encoding, prefixed by a schema-version
+// header.
 func (d *Dataset) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return gob.NewEncoder(f).Encode(d)
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(fileHeader{Magic: fileMagic, Version: FormatVersion}); err != nil {
+		return err
+	}
+	return enc.Encode(d)
 }
 
-// Load reads a dataset written by Save.
+// Load reads a dataset written by Save. Files without a matching header -
+// pre-versioning datasets, foreign files, or datasets from a different
+// schema version - fail with an error wrapping ErrDatasetVersion.
 func Load(path string) (*Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var h fileHeader
+	// A pre-versioning or foreign gob stream either fails to decode into
+	// the header or decodes with the wrong magic; both surface as
+	// version mismatches, with the decode cause preserved for diagnosis
+	// (a truncated file or I/O error is visible there, not hidden).
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("dataset: %s: no version header (pre-versioning or foreign file): %w (%w)", path, pcerr.ErrDatasetVersion, err)
+	}
+	if h.Magic != fileMagic {
+		return nil, fmt.Errorf("dataset: %s: no version header (pre-versioning or foreign file): %w", path, pcerr.ErrDatasetVersion)
+	}
+	if h.Version != FormatVersion {
+		return nil, fmt.Errorf("dataset: %s: file version %d, this build reads version %d: %w",
+			path, h.Version, FormatVersion, pcerr.ErrDatasetVersion)
+	}
 	var d Dataset
-	if err := gob.NewDecoder(f).Decode(&d); err != nil {
+	if err := dec.Decode(&d); err != nil {
 		return nil, err
 	}
 	return &d, nil

@@ -1,8 +1,15 @@
 package dataset
 
 import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
+
+	"portcc/internal/cpu"
+	"portcc/internal/pcerr"
 
 	"portcc/internal/opt"
 	"portcc/internal/uarch"
@@ -19,7 +26,7 @@ func tinyConfig() GenConfig {
 }
 
 func TestGenerateShape(t *testing.T) {
-	ds, err := Generate(tinyConfig())
+	ds, err := Generate(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +59,11 @@ func TestGenerateShape(t *testing.T) {
 }
 
 func TestGenerateDeterminism(t *testing.T) {
-	a, err := Generate(tinyConfig())
+	a, err := Generate(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Generate(tinyConfig())
+	b, err := Generate(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +79,7 @@ func TestGenerateDeterminism(t *testing.T) {
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {
-	ds, err := Generate(tinyConfig())
+	ds, err := Generate(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +104,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestTrainingPairs(t *testing.T) {
-	ds, err := Generate(tinyConfig())
+	ds, err := Generate(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +127,7 @@ func TestTrainingPairs(t *testing.T) {
 }
 
 func TestBestSpeedup(t *testing.T) {
-	ds, err := Generate(tinyConfig())
+	ds, err := Generate(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,10 +159,124 @@ func TestEvaluatorCaching(t *testing.T) {
 }
 
 func TestGenerateRejectsBadConfig(t *testing.T) {
-	if _, err := Generate(GenConfig{}); err == nil {
+	if _, err := Generate(context.Background(), GenConfig{}); err == nil {
 		t.Error("empty config accepted")
 	}
-	if _, err := Generate(GenConfig{Programs: []string{"nope"}, NumArchs: 1, NumOpts: 1}); err == nil {
+	if _, err := Generate(context.Background(), GenConfig{Programs: []string{"nope"}, NumArchs: 1, NumOpts: 1}); err == nil {
 		t.Error("unknown program accepted")
+	}
+}
+
+func TestGenerateTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Generate(ctx, GenConfig{}); !errors.Is(err, pcerr.ErrInvalidConfig) {
+		t.Errorf("empty config: got %v, want ErrInvalidConfig", err)
+	}
+	if _, err := Generate(ctx, GenConfig{Programs: []string{"nope"}, NumArchs: 1, NumOpts: 1}); !errors.Is(err, pcerr.ErrUnknownProgram) {
+		t.Errorf("unknown program: got %v, want ErrUnknownProgram", err)
+	}
+}
+
+func TestLoadVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+
+	// A pre-versioning file: a bare gob-encoded Dataset with no header.
+	legacy := filepath.Join(dir, "legacy.gob")
+	f, err := os.Create(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(&Dataset{Programs: []string{"crc"}}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Load(legacy); !errors.Is(err, pcerr.ErrDatasetVersion) {
+		t.Errorf("legacy file: got %v, want ErrDatasetVersion", err)
+	}
+
+	// A future-versioned file: right magic, wrong version.
+	future := filepath.Join(dir, "future.gob")
+	f, err = os.Create(future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(fileHeader{Magic: fileMagic, Version: FormatVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Load(future); !errors.Is(err, pcerr.ErrDatasetVersion) {
+		t.Errorf("future file: got %v, want ErrDatasetVersion", err)
+	}
+
+	// Garbage is a version problem too, not a gob panic.
+	garbage := filepath.Join(dir, "garbage.gob")
+	if err := os.WriteFile(garbage, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(garbage); !errors.Is(err, pcerr.ErrDatasetVersion) {
+		t.Errorf("garbage file: got %v, want ErrDatasetVersion", err)
+	}
+}
+
+func TestCacheBudgetEviction(t *testing.T) {
+	// A budget of one byte keeps only the newest trace: every distinct
+	// request recompiles, but requests never fail.
+	ev := NewEvaluator(EvalConfig{TargetInsns: 4000, CacheBudget: 1})
+	o3 := opt.O3()
+	tuned := opt.O3()
+	tuned.Flags[0] = !tuned.Flags[0]
+	for _, c := range []*opt.Config{&o3, &tuned, &o3} {
+		if _, err := ev.Run("crc", c, uarch.XScale()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ev.traces) != 1 {
+		t.Errorf("%d traces cached under a 1-byte budget, want 1", len(ev.traces))
+	}
+	// An ample budget retains everything.
+	ev = NewEvaluator(EvalConfig{TargetInsns: 4000, CacheBudget: 64 << 20})
+	for _, c := range []*opt.Config{&o3, &tuned} {
+		if _, err := ev.Run("crc", c, uarch.XScale()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ev.traces) != 2 {
+		t.Errorf("%d traces cached under a 64MB budget, want 2", len(ev.traces))
+	}
+}
+
+func TestSharedBaseDedupesProbes(t *testing.T) {
+	// However many pool workers touch a program, its module is built and
+	// its -O3 probe compiled exactly once - and results stay identical
+	// to a standalone evaluator's.
+	base := NewSharedBase()
+	o3 := opt.O3()
+	tuned := opt.O3()
+	tuned.Flags[0] = !tuned.Flags[0]
+	var pooled [3]cpu.Result
+	for i := range pooled {
+		ev := NewEvaluatorWith(EvalConfig{TargetInsns: 4000}, base)
+		r, err := ev.Run("crc", &o3, uarch.XScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ev.Run("crc", &tuned, uarch.XScale()); err != nil {
+			t.Fatal(err)
+		}
+		pooled[i] = r
+	}
+	if n := base.ProbeCompiles(); n != 1 {
+		t.Errorf("%d probe compiles across 3 pooled evaluators, want 1", n)
+	}
+	standalone := NewEvaluator(EvalConfig{TargetInsns: 4000})
+	want, err := standalone.Run("crc", &o3, uarch.XScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range pooled {
+		if got != want {
+			t.Errorf("pooled evaluator %d result differs from standalone", i)
+		}
 	}
 }

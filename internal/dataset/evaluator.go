@@ -11,6 +11,7 @@ package dataset
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"portcc/internal/codegen"
 	"portcc/internal/core"
@@ -31,6 +32,11 @@ type EvalConfig struct {
 	MaxInsns int
 	// Seed drives trace generation (branch outcomes, addresses).
 	Seed int64
+	// CacheBudget, when positive, bounds the trace cache by approximate
+	// resident bytes instead of the default fixed entry count. The most
+	// recently inserted trace is always retained, so a tiny budget
+	// degrades to compile-per-request rather than thrashing mid-request.
+	CacheBudget int64
 }
 
 // DefaultEvalConfig is used when fields are zero.
@@ -47,20 +53,117 @@ func (c EvalConfig) withDefaults() EvalConfig {
 	if c.Seed != 0 {
 		d.Seed = c.Seed
 	}
+	d.CacheBudget = c.CacheBudget
 	return d
+}
+
+// SharedBase caches the microarchitecture- and setting-independent
+// per-program artefacts - IR modules and the -O3 probe that fixes the
+// complete-run count - across a pool of evaluators, so a fan-out that
+// spreads one program's cells over many workers still builds each module
+// and compiles each probe exactly once (single-flight). Every evaluator
+// sharing a base must use the same EvalConfig, or run counts would
+// disagree between workers.
+type SharedBase struct {
+	mu      sync.Mutex
+	modules map[string]*moduleEntry
+	probes  map[string]*probeEntry
+	// compiles counts probe compiles actually performed (reporting).
+	compiles atomic.Int64
+}
+
+// ProbeCompiles returns how many -O3 probe compiles the base performed -
+// with single-flight dedup this is at most one per program, however many
+// evaluators share the base.
+func (b *SharedBase) ProbeCompiles() int64 { return b.compiles.Load() }
+
+type moduleEntry struct {
+	once sync.Once
+	m    *ir.Module
+	err  error
+}
+
+type probeEntry struct {
+	once sync.Once
+	runs int
+	prog *codegen.Program
+	err  error
+}
+
+// NewSharedBase builds an empty base for a pool of evaluators.
+func NewSharedBase() *SharedBase {
+	return &SharedBase{modules: map[string]*moduleEntry{}, probes: map[string]*probeEntry{}}
+}
+
+func (b *SharedBase) module(name string) (*ir.Module, error) {
+	b.mu.Lock()
+	en, ok := b.modules[name]
+	if !ok {
+		en = &moduleEntry{}
+		b.modules[name] = en
+	}
+	b.mu.Unlock()
+	en.once.Do(func() { en.m, en.err = prog.Build(name) })
+	return en.m, en.err
+}
+
+// runsFor compiles the program's -O3 probe once and derives the per-
+// program complete-run count from it. The compiled -O3 binary is kept so
+// every worker can regenerate the -O3 trace without recompiling.
+func (b *SharedBase) runsFor(name string, m *ir.Module, cfg EvalConfig) (int, *codegen.Program, error) {
+	b.mu.Lock()
+	en, ok := b.probes[name]
+	if !ok {
+		en = &probeEntry{}
+		b.probes[name] = en
+	}
+	b.mu.Unlock()
+	en.once.Do(func() {
+		b.compiles.Add(1)
+		o3 := opt.O3()
+		p, err := core.Compile(m, &o3)
+		if err != nil {
+			en.err = err
+			return
+		}
+		probe := trace.Generate(p, trace.Config{Runs: 1, MaxInsns: cfg.MaxInsns, Seed: cfg.Seed})
+		en.runs, en.prog = deriveRuns(probe, cfg), p
+	})
+	return en.runs, en.prog, en.err
+}
+
+// deriveRuns turns a 1-run -O3 probe into the per-program complete-run
+// count: enough runs to approach TargetInsns, clamped to [1, 8]. Pooled
+// and standalone evaluators must share this derivation, or run counts
+// would disagree between workers.
+func deriveRuns(probe *trace.Trace, cfg EvalConfig) int {
+	perRun := probe.Insns()
+	if perRun < 1 {
+		perRun = 1
+	}
+	r := cfg.TargetInsns / perRun
+	if r < 1 {
+		r = 1
+	}
+	if r > 8 {
+		r = 8
+	}
+	return r
 }
 
 // Evaluator compiles programs under optimisation settings and simulates
 // them on microarchitectures, caching compiled traces (which are
 // microarchitecture-independent). Safe for concurrent use.
 type Evaluator struct {
-	cfg EvalConfig
+	cfg  EvalConfig
+	base *SharedBase // optional pool-shared module/probe cache
 
 	mu      sync.Mutex
 	modules map[string]*ir.Module
 	runs    map[string]int // complete runs per trace, fixed per program
 	traces  map[string]*cachedTrace
 	order   []string // LRU order of trace cache keys
+	bytes   int64    // approximate resident bytes of cached traces
 	// Compiles and Simulations count work done (for reporting).
 	Compiles    int
 	Simulations int
@@ -75,22 +178,45 @@ type cachedTrace struct {
 // tiny cache suffices, keeping memory flat at paper scale.
 const traceCacheSize = 4
 
-// NewEvaluator builds an evaluator.
+// NewEvaluator builds a standalone evaluator.
 func NewEvaluator(cfg EvalConfig) *Evaluator {
+	return NewEvaluatorWith(cfg, nil)
+}
+
+// NewEvaluatorWith builds an evaluator that resolves modules and -O3
+// probes through base (when non-nil), for worker pools. Trace caches
+// stay private per evaluator.
+func NewEvaluatorWith(cfg EvalConfig, base *SharedBase) *Evaluator {
 	return &Evaluator{
 		cfg:     cfg.withDefaults(),
+		base:    base,
 		modules: map[string]*ir.Module{},
 		runs:    map[string]int{},
 		traces:  map[string]*cachedTrace{},
 	}
 }
 
-// module returns the pristine IR of a program, building it on first use.
+// Stats returns the work counters (compiles and simulations so far) under
+// the evaluator's lock, safe against concurrent use.
+func (e *Evaluator) Stats() (compiles, simulations int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Compiles, e.Simulations
+}
+
+// module returns the pristine IR of a program, building it on first use
+// (through the shared base when pooled).
 func (e *Evaluator) module(name string) (*ir.Module, error) {
 	if m, ok := e.modules[name]; ok {
 		return m, nil
 	}
-	m, err := prog.Build(name)
+	var m *ir.Module
+	var err error
+	if e.base != nil {
+		m, err = e.base.module(name)
+	} else {
+		m, err = prog.Build(name)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -106,6 +232,13 @@ func (e *Evaluator) module(name string) (*ir.Module, error) {
 // costs nothing instead of recompiling the probe's binary. Called with
 // e.mu held.
 func (e *Evaluator) runsFor(name string, m *ir.Module) (int, *codegen.Program, *trace.Trace, error) {
+	if e.base != nil {
+		// The base compiled the probe once for the whole pool and keeps
+		// the binary, so every call returns it: any later -O3 trace
+		// request regenerates from the binary instead of recompiling
+		// (no probe trace - it is regenerated when needed).
+		return e.baseRunsFor(name, m)
+	}
 	if r, ok := e.runs[name]; ok {
 		return r, nil, nil, nil
 	}
@@ -116,22 +249,33 @@ func (e *Evaluator) runsFor(name string, m *ir.Module) (int, *codegen.Program, *
 	}
 	e.Compiles++
 	probe := trace.Generate(p, trace.Config{Runs: 1, MaxInsns: e.cfg.MaxInsns, Seed: e.cfg.Seed})
-	perRun := probe.Insns()
-	if perRun < 1 {
-		perRun = 1
-	}
-	r := e.cfg.TargetInsns / perRun
-	if r < 1 {
-		r = 1
-	}
-	if r > 8 {
-		r = 8
-	}
+	r := deriveRuns(probe, e.cfg)
 	e.runs[name] = r
 	return r, p, probe, nil
 }
 
+// traceBytes approximates the resident size of a cached trace: the event
+// stream dominates (16 bytes per padded Event) plus a small fixed cost for
+// counters and the binary image.
+func traceBytes(tr *trace.Trace) int64 {
+	return int64(len(tr.Events))*16 + 4096
+}
+
+// baseRunsFor resolves the run count and -O3 binary through the shared
+// base on every call (a brief mutex acquisition, noise next to the
+// compile/replay work per cell): the binary must stay available so an
+// -O3 trace request at any point regenerates instead of recompiling.
+func (e *Evaluator) baseRunsFor(name string, m *ir.Module) (int, *codegen.Program, *trace.Trace, error) {
+	r, p, err := e.base.runsFor(name, m, e.cfg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return r, p, nil, nil
+}
+
 // insertTrace caches a compiled trace under key, evicting in FIFO order.
+// With a CacheBudget the bound is approximate bytes (the newest entry is
+// always kept); otherwise it is the fixed traceCacheSize entry count.
 // Called with e.mu held.
 func (e *Evaluator) insertTrace(key string, tr *trace.Trace, p *codegen.Program) {
 	if _, ok := e.traces[key]; ok {
@@ -139,9 +283,17 @@ func (e *Evaluator) insertTrace(key string, tr *trace.Trace, p *codegen.Program)
 	}
 	e.traces[key] = &cachedTrace{tr: tr, prog: p}
 	e.order = append(e.order, key)
-	for len(e.order) > traceCacheSize {
+	e.bytes += traceBytes(tr)
+	evict := func() bool {
+		if e.cfg.CacheBudget > 0 {
+			return e.bytes > e.cfg.CacheBudget && len(e.order) > 1
+		}
+		return len(e.order) > traceCacheSize
+	}
+	for evict() {
 		old := e.order[0]
 		e.order = e.order[1:]
+		e.bytes -= traceBytes(e.traces[old].tr)
 		delete(e.traces, old)
 	}
 }
@@ -169,19 +321,25 @@ func (e *Evaluator) Trace(name string, c *opt.Config) (*trace.Trace, *codegen.Pr
 	// Seed the cache from runsFor's -O3 probe compile, generating the
 	// full-length trace outside the lock (the probe already is that
 	// trace when the run count is 1). An -O3 request is then satisfied
-	// without compiling again.
+	// without compiling again. Pooled evaluators get the compiled binary
+	// from the shared base without a probe trace; for them only an
+	// actual -O3 request seeds - most workers never serve the program's
+	// -O3 cell, and an eager full-length trace would be wasted work.
 	if o3Prog != nil {
-		o3Trace := o3Probe
-		if runs != 1 {
-			o3Trace = trace.Generate(o3Prog, trace.Config{Runs: runs, MaxInsns: e.cfg.MaxInsns, Seed: e.cfg.Seed})
-		}
 		o3 := opt.O3()
-		e.mu.Lock()
-		e.insertTrace(name+"/"+o3.Key(), o3Trace, o3Prog)
-		ct, ok := e.traces[key]
-		e.mu.Unlock()
-		if ok {
-			return ct.tr, ct.prog, nil
+		o3Key := name + "/" + o3.Key()
+		if o3Probe != nil || key == o3Key {
+			o3Trace := o3Probe
+			if o3Trace == nil || runs != 1 {
+				o3Trace = trace.Generate(o3Prog, trace.Config{Runs: runs, MaxInsns: e.cfg.MaxInsns, Seed: e.cfg.Seed})
+			}
+			e.mu.Lock()
+			e.insertTrace(o3Key, o3Trace, o3Prog)
+			ct, ok := e.traces[key]
+			e.mu.Unlock()
+			if ok {
+				return ct.tr, ct.prog, nil
+			}
 		}
 	}
 

@@ -1,0 +1,248 @@
+package dataset
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"portcc/internal/cpu"
+	"portcc/internal/opt"
+	"portcc/internal/pcerr"
+	"portcc/internal/pool"
+	"portcc/internal/prog"
+	"portcc/internal/uarch"
+)
+
+// ExploreRequest is a serialisable (gob) description of a design-space
+// exploration grid: every sampled optimisation setting of every program is
+// compiled once and replayed over the architecture sample. It carries no
+// functions or session state, so a coordinator can ship sub-grids to
+// worker shards as-is.
+type ExploreRequest struct {
+	// Programs are benchmark names from the suite.
+	Programs []string
+	// Opts are the optimisation settings evaluated for every program.
+	Opts []opt.Config
+	// Archs is the microarchitecture sample every compiled trace is
+	// replayed over.
+	Archs []uarch.Config
+	// ArchBatch caps how many architectures one work cell simulates
+	// (0 = all of Archs in a single batched replay). Smaller batches
+	// trade batching efficiency for finer streaming granularity.
+	ArchBatch int
+	// Eval carries the workload-scaling parameters for the evaluators.
+	Eval EvalConfig
+}
+
+// Validate checks the request against the benchmark suite and the legal
+// microarchitecture space, wrapping the typed sentinels.
+func (r *ExploreRequest) Validate() error {
+	if len(r.Programs) == 0 || len(r.Opts) == 0 || len(r.Archs) == 0 {
+		return fmt.Errorf("dataset: %w: explore request needs programs, opts and archs", pcerr.ErrInvalidConfig)
+	}
+	if r.ArchBatch < 0 {
+		return fmt.Errorf("dataset: %w: negative ArchBatch", pcerr.ErrInvalidConfig)
+	}
+	for _, name := range r.Programs {
+		if !prog.Known(name) {
+			return fmt.Errorf("dataset: %w: %q", pcerr.ErrUnknownProgram, name)
+		}
+	}
+	for i, a := range r.Archs {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("dataset: arch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Cells returns the number of work cells the request fans out to (0 for
+// a request with an empty dimension, which Validate rejects).
+func (r *ExploreRequest) Cells() int {
+	if len(r.Programs) == 0 || len(r.Opts) == 0 || len(r.Archs) == 0 {
+		return 0
+	}
+	ab := r.ArchBatch
+	if ab <= 0 || ab > len(r.Archs) {
+		ab = len(r.Archs)
+	}
+	batches := (len(r.Archs) + ab - 1) / ab
+	return len(r.Programs) * len(r.Opts) * batches
+}
+
+// ExploreResult is one completed work cell: the program compiled under one
+// optimisation setting, replayed over one architecture batch. Like the
+// request it is a plain serialisable value, so shards can stream results
+// back over the wire.
+type ExploreResult struct {
+	// ProgIndex, OptIndex and ArchStart locate the cell in the request
+	// grid; Results[i] belongs to Archs[ArchStart+i].
+	ProgIndex, OptIndex, ArchStart int
+	// Program and Config echo the cell inputs for self-contained use.
+	Program string
+	Config  opt.Config
+	// Runs is the complete-program-run count of the trace; divide Cycles
+	// by it for the work-normalised metric.
+	Runs int
+	// Results holds the per-architecture counters, in batch order.
+	Results []cpu.Result
+}
+
+// ExploreOptions carries the execution (not work-unit) parameters of an
+// exploration: they stay on the driving side and are never serialised.
+type ExploreOptions struct {
+	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when set, is called after each completed cell with the
+	// number of completed cells and the total. Calls are serialised.
+	Progress func(done, total int)
+}
+
+// exploreCell is one unit of fan-out work.
+type exploreCell struct {
+	index              int // position in dispatch order, for error determinism
+	prog, opt          int
+	archStart, archEnd int
+}
+
+// cells enumerates the grid program-major, settings inner, arch batches
+// innermost: arch batches of one (program, setting) stay adjacent so a
+// worker's private trace cache serves them, and the shared pool base
+// deduplicates module builds and -O3 probes across workers.
+func (r *ExploreRequest) cells() []exploreCell {
+	ab := r.ArchBatch
+	if ab <= 0 || ab > len(r.Archs) {
+		ab = len(r.Archs)
+	}
+	out := make([]exploreCell, 0, r.Cells())
+	for p := range r.Programs {
+		for o := range r.Opts {
+			for s := 0; s < len(r.Archs); s += ab {
+				end := s + ab
+				if end > len(r.Archs) {
+					end = len(r.Archs)
+				}
+				out = append(out, exploreCell{index: len(out), prog: p, opt: o, archStart: s, archEnd: end})
+			}
+		}
+	}
+	return out
+}
+
+// runCell compiles (or reuses) the cell's trace and replays it over the
+// cell's architecture batch.
+func runCell(ev *Evaluator, req *ExploreRequest, c exploreCell) (ExploreResult, error) {
+	name := req.Programs[c.prog]
+	cfg := req.Opts[c.opt]
+	tr, _, err := ev.Trace(name, &cfg)
+	if err != nil {
+		return ExploreResult{}, &pcerr.SimError{Program: name, Setting: c.opt, Arch: c.archStart, Err: err}
+	}
+	runs := tr.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	return ExploreResult{
+		ProgIndex: c.prog,
+		OptIndex:  c.opt,
+		ArchStart: c.archStart,
+		Program:   name,
+		Config:    cfg,
+		Runs:      runs,
+		Results:   ev.SimulateBatch(tr, req.Archs[c.archStart:c.archEnd]),
+	}, nil
+}
+
+// Explore streams the request's grid through a worker pool, yielding cells
+// as they complete (completion order is scheduling-dependent; use the
+// indices in each result). It is the single exploration engine: Generate,
+// the portcc Session facade and the experiment drivers all sit on top of
+// it, and a future coordinator/worker split shards exactly these cells.
+//
+// Semantics:
+//
+//   - Each grid cell is yielded exactly once, or not at all after a
+//     failure or cancellation.
+//   - On a cell failure, dispatch stops, already-dispatched cells finish
+//     (their results are still yielded), and the terminal yield carries
+//     the error of the lowest-indexed failing cell - deterministic under
+//     any worker schedule.
+//   - On context cancellation the workers drain promptly without leaking
+//     goroutines and the terminal yield carries a *pcerr.PartialError
+//     wrapping ctx.Err() with done/total cell counts.
+//   - Breaking out of the loop early cancels and drains the pool before
+//     the iterator returns.
+func Explore(ctx context.Context, req ExploreRequest, o ExploreOptions) iter.Seq2[ExploreResult, error] {
+	return func(yield func(ExploreResult, error) bool) {
+		if err := req.Validate(); err != nil {
+			yield(ExploreResult{}, err)
+			return
+		}
+		cells := req.cells()
+		total := len(cells)
+
+		ictx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		results := make(chan ExploreResult)
+
+		workers := pool.Workers(o.Workers, total)
+		// One evaluator per worker slot (private trace caches), sharing
+		// program modules and -O3 probes through a pool base so a
+		// program's cells spread over many workers compile each probe
+		// once, not once per worker.
+		base := NewSharedBase()
+		evs := make([]*Evaluator, workers)
+		var firstErr error
+		go func() {
+			defer close(results)
+			_, firstErr = pool.Run(ictx, workers, total, func(slot, idx int) error {
+				if evs[slot] == nil {
+					evs[slot] = NewEvaluatorWith(req.Eval, base)
+				}
+				res, err := runCell(evs[slot], &req, cells[idx])
+				if err != nil {
+					return err
+				}
+				select {
+				case results <- res:
+				case <-ictx.Done():
+				}
+				return nil
+			})
+		}()
+		// drain cancels the pool and blocks until every worker has
+		// exited (results closes only after pool.Run returns), so no
+		// goroutine outlives the iterator.
+		drain := func() {
+			cancel()
+			for range results {
+			}
+		}
+
+		done := 0
+		for res := range results {
+			done++
+			if o.Progress != nil {
+				o.Progress(done, total)
+			}
+			if !yield(res, nil) {
+				drain()
+				return
+			}
+		}
+		// The pool has fully drained here: results is closed, so
+		// firstErr is visible. A real cell failure outranks
+		// cancellation: it stopped dispatch first and locates the
+		// broken cell, which a bare PartialError hides.
+		if firstErr != nil {
+			yield(ExploreResult{}, firstErr)
+			return
+		}
+		// A cancellation that races the final cell must not discard a
+		// fully completed grid: only report partial progress when cells
+		// were actually lost.
+		if err := ctx.Err(); err != nil && done < total {
+			yield(ExploreResult{}, &pcerr.PartialError{Done: done, Total: total, Err: err})
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,8 +21,9 @@ type AblationResult struct {
 	BetaAv []float64
 }
 
-// Ablation sweeps K (at beta=1) and beta (at K=7) over a dataset.
-func Ablation(ds *dataset.Dataset) (*AblationResult, error) {
+// Ablation sweeps K (at beta=1) and beta (at K=7) over a dataset,
+// bounding each leave-one-out evaluation to workers (0 = GOMAXPROCS).
+func Ablation(ctx context.Context, ds *dataset.Dataset, workers int) (*AblationResult, error) {
 	res := &AblationResult{
 		Ks:    []int{3, 5, 7, 9, 15},
 		Betas: []float64{0.5, 1, 2},
@@ -37,14 +39,14 @@ func Ablation(ds *dataset.Dataset) (*AblationResult, error) {
 		return s / float64(nP*nA)
 	}
 	for _, k := range res.Ks {
-		pr, err := PredictWith(ds, k, 1)
+		pr, err := PredictWith(ctx, ds, k, 1, workers)
 		if err != nil {
 			return nil, err
 		}
 		res.KAvg = append(res.KAvg, avg(pr))
 	}
 	for _, b := range res.Betas {
-		pr, err := PredictWith(ds, 7, b)
+		pr, err := PredictWith(ctx, ds, 7, b, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -79,7 +80,7 @@ func TestFigure4(t *testing.T) {
 
 func TestPredictionsAndFigures(t *testing.T) {
 	ds := getDS(t)
-	pr, err := Predict(ds)
+	pr, err := Predict(context.Background(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestFigure1(t *testing.T) {
 func TestAblationKInsensitivity(t *testing.T) {
 	// The Section 3.3.2 claim: performance is not sensitive to K near 7.
 	ds := getDS(t)
-	ab, err := Ablation(ds)
+	ab, err := Ablation(context.Background(), ds, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

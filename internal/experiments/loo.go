@@ -1,14 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"portcc/internal/dataset"
 	"portcc/internal/ml"
 	"portcc/internal/opt"
+	"portcc/internal/pcerr"
+	"portcc/internal/pool"
 	"portcc/internal/uarch"
 )
 
@@ -29,14 +29,16 @@ type Predictions struct {
 // Predict runs the full leave-one-out protocol: fit training pairs, and
 // for each held-out pair predict, compile, and measure. Predicted
 // configurations are deduplicated per program so each distinct binary is
-// compiled and traced once.
-func Predict(ds *dataset.Dataset) (*Predictions, error) {
-	return PredictWith(ds, 0, 0)
+// compiled and traced once. Cancelling ctx drains the worker pool and
+// returns an error wrapping ctx.Err().
+func Predict(ctx context.Context, ds *dataset.Dataset) (*Predictions, error) {
+	return PredictWith(ctx, ds, 0, 0, 0)
 }
 
 // PredictWith is Predict with explicit KNN hyper-parameters (zero values
-// select the paper's K=7 and beta=1), for the ablation experiments.
-func PredictWith(ds *dataset.Dataset, k int, beta float64) (*Predictions, error) {
+// select the paper's K=7 and beta=1), for the ablation experiments, and
+// an explicit worker-pool bound (0 = GOMAXPROCS).
+func PredictWith(ctx context.Context, ds *dataset.Dataset, k int, beta float64, workers int) (*Predictions, error) {
 	pairs, err := ds.TrainingPairs()
 	if err != nil {
 		return nil, err
@@ -51,65 +53,29 @@ func PredictWith(ds *dataset.Dataset, k int, beta float64) (*Predictions, error)
 		Speedup: make([][]float64, nP),
 		Best:    make([][]float64, nP),
 	}
-	// The per-program evaluations are independent: a worker pool spreads
-	// the compile + batched-replay work over the machine, with one
-	// evaluator per worker so trace caches stay private and hot. The
-	// first failure stops dispatch, and the error reported is the one
-	// with the lowest program index.
-	jobs := make(chan int)
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstP  int
-		firstE  error
-		stopped atomic.Bool
-	)
-	fail := func(p int, err error) {
-		mu.Lock()
-		if firstE == nil || p < firstP {
-			firstP, firstE = p, err
+	// The per-program evaluations are independent: the shared worker
+	// pool spreads the compile + batched-replay work over the machine,
+	// one evaluator per slot (private trace caches) with modules and
+	// -O3 probes deduplicated through a pool base. pool.Run reports the
+	// lowest-indexed failure deterministically; a real failure outranks
+	// cancellation, which names the broken program instead of hiding it
+	// behind a PartialError.
+	workers = pool.Workers(workers, nP)
+	base := dataset.NewSharedBase()
+	evs := make([]*dataset.Evaluator, workers)
+	done, firstE := pool.Run(ctx, workers, nP, func(slot, p int) error {
+		if evs[slot] == nil {
+			evs[slot] = dataset.NewEvaluatorWith(ds.Cfg.Eval, base)
 		}
-		mu.Unlock()
-		stopped.Store(true)
-	}
-	// Dispatch is in index order, so every job below a failing index has
-	// already been handed out; running those (and only those) after a
-	// failure makes the reported error the lowest failing index among
-	// the dispatched jobs, independent of worker scheduling.
-	skip := func(p int) bool {
-		if !stopped.Load() {
-			return false
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		return firstE != nil && p > firstP
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nP {
-		workers = nP
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ev := dataset.NewEvaluator(ds.Cfg.Eval)
-			for p := range jobs {
-				if skip(p) {
-					continue
-				}
-				if err := predictProgram(ds, model, ev, pr, p); err != nil {
-					fail(p, err)
-				}
-			}
-		}()
-	}
-	for p := 0; p < nP && !stopped.Load(); p++ {
-		jobs <- p
-	}
-	close(jobs)
-	wg.Wait()
+		return predictProgram(ds, model, evs[slot], pr, p)
+	})
 	if firstE != nil {
 		return nil, firstE
+	}
+	// A cancellation racing the final program must not discard a fully
+	// completed evaluation.
+	if err := ctx.Err(); err != nil && done < nP {
+		return nil, &pcerr.PartialError{Done: done, Total: nP, Err: err}
 	}
 	return pr, nil
 }
@@ -126,7 +92,7 @@ func predictProgram(ds *dataset.Dataset, model *ml.Model, ev *dataset.Evaluator,
 	groups := map[string][]int{}
 	var orderKeys []string
 	for a := 0; a < nA; a++ {
-		cfg := model.Predict(ds.Features[p][a], ml.Exclude{Prog: ds.Programs[p], Arch: a})
+		cfg := model.Predict(ds.Features[p][a], ml.WithExclude(ds.Programs[p], a))
 		pr.Config[p][a] = cfg
 		k := cfg.Key()
 		if _, ok := groups[k]; !ok {

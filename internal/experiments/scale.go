@@ -11,6 +11,8 @@
 package experiments
 
 import (
+	"context"
+
 	"portcc/internal/dataset"
 	"portcc/internal/prog"
 )
@@ -59,7 +61,15 @@ func (s Scale) GenConfig(extended bool) dataset.GenConfig {
 	}
 }
 
-// Dataset generates (or regenerates) the dataset for the scale.
+// Generate produces the dataset for the scale, honouring ctx through the
+// streaming exploration engine.
+func (s Scale) Generate(ctx context.Context, extended bool) (*dataset.Dataset, error) {
+	return dataset.Generate(ctx, s.GenConfig(extended))
+}
+
+// Dataset generates the dataset for the scale.
+//
+// Deprecated: use Generate, which accepts a context for cancellation.
 func (s Scale) Dataset(extended bool) (*dataset.Dataset, error) {
-	return dataset.Generate(s.GenConfig(extended))
+	return s.Generate(context.Background(), extended)
 }

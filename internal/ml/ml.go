@@ -173,18 +173,33 @@ func Train(pairs []TrainingPair) *Model {
 	return &Model{Pairs: pairs, Norm: features.NewNormalizer(vecs)}
 }
 
-// Exclude describes the leave-one-out mask: any training pair matching the
-// program name or the architecture index is dropped from the neighbour
-// search (Section 5.1.1: neither the test program nor the test
-// microarchitecture is ever trained on).
-type Exclude struct {
-	Prog string
-	Arch int
+// PredictOption configures a single prediction or mixture query.
+type PredictOption func(*predictSettings)
+
+type predictSettings struct {
+	// exclude drops matching training pairs from the neighbour search;
+	// nil excludes nothing.
+	exclude func(*TrainingPair) bool
 }
 
-// Matches reports whether the pair is excluded.
-func (e Exclude) Matches(p *TrainingPair) bool {
-	return p.Prog == e.Prog || p.Arch == e.Arch
+// WithExclude implements the leave-one-out mask of Section 5.1.1: any
+// training pair matching the program name or the architecture index is
+// dropped from the neighbour search (neither the test program nor the
+// test microarchitecture is ever trained on).
+func WithExclude(prog string, arch int) PredictOption {
+	return func(s *predictSettings) {
+		s.exclude = func(p *TrainingPair) bool {
+			return p.Prog == prog || p.Arch == arch
+		}
+	}
+}
+
+func applyPredictOptions(opts []PredictOption) predictSettings {
+	var s predictSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
 }
 
 type neighbour struct {
@@ -193,17 +208,18 @@ type neighbour struct {
 }
 
 // Predict returns the predicted-best configuration for feature vector x
-// (equation 1): the mode of the KNN mixture q(y|x). The exclusion mask
-// implements leave-one-out cross-validation; pass Exclude{Arch: -1} to use
-// every pair.
-func (m *Model) Predict(x []float64, excl Exclude) opt.Config {
-	mix := m.Mixture(x, excl)
+// (equation 1): the mode of the KNN mixture q(y|x). By default every
+// training pair participates; pass WithExclude for leave-one-out
+// cross-validation.
+func (m *Model) Predict(x []float64, opts ...PredictOption) opt.Config {
+	mix := m.Mixture(x, opts...)
 	return mix.Mode()
 }
 
 // Mixture computes q(y|x): the convex combination of the K nearest
 // training distributions with weights w_k = exp(-beta d_k)/sum (eq. 6).
-func (m *Model) Mixture(x []float64, excl Exclude) Dist {
+func (m *Model) Mixture(x []float64, opts ...PredictOption) Dist {
+	set := applyPredictOptions(opts)
 	k := m.KNeighbours
 	if k <= 0 {
 		k = K
@@ -216,7 +232,7 @@ func (m *Model) Mixture(x []float64, excl Exclude) Dist {
 	var nbrs []neighbour
 	for i := range m.Pairs {
 		p := &m.Pairs[i]
-		if excl.Matches(p) {
+		if set.exclude != nil && set.exclude(p) {
 			continue
 		}
 		nbrs = append(nbrs, neighbour{dist: features.Distance(nx, m.Norm.Apply(p.X)), pair: p})

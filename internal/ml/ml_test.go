@@ -121,11 +121,11 @@ func TestKNNPrefersNearest(t *testing.T) {
 		pairs = append(pairs, makePair("b", i+8, []float64{10, float64(i) * 0.01}, opt.FScheduleInsns))
 	}
 	m := Train(pairs)
-	got := m.Predict([]float64{0.1, 0}, Exclude{Prog: "none", Arch: -1})
+	got := m.Predict([]float64{0.1, 0})
 	if !got.Flag(opt.FUnrollLoops) || got.Flag(opt.FScheduleInsns) {
 		t.Error("prediction ignored the nearest cluster")
 	}
-	got = m.Predict([]float64{9.9, 0}, Exclude{Prog: "none", Arch: -1})
+	got = m.Predict([]float64{9.9, 0})
 	if got.Flag(opt.FUnrollLoops) || !got.Flag(opt.FScheduleInsns) {
 		t.Error("prediction ignored the nearest cluster (far side)")
 	}
@@ -139,7 +139,7 @@ func TestExcludeMask(t *testing.T) {
 	pairs = append(pairs, makePair("other", 99, []float64{5, 5}, opt.FScheduleInsns))
 	m := Train(pairs)
 	// Excluding "victim" leaves only the far pair.
-	got := m.Predict([]float64{0, 0}, Exclude{Prog: "victim", Arch: -1})
+	got := m.Predict([]float64{0, 0}, WithExclude("victim", -1))
 	if got.Flag(opt.FUnrollLoops) {
 		t.Error("excluded program leaked into the prediction")
 	}
@@ -161,7 +161,7 @@ func TestMixtureWeightsSumToOne(t *testing.T) {
 			X: []float64{rng.Float64(), rng.Float64()}, G: g})
 	}
 	m := Train(pairs)
-	mix := m.Mixture([]float64{0.5, 0.5}, Exclude{Prog: "none", Arch: -1})
+	mix := m.Mixture([]float64{0.5, 0.5})
 	for l := 0; l < opt.NumDims; l++ {
 		s := 0.0
 		for j := 0; j < opt.DimSize(l); j++ {
@@ -175,7 +175,7 @@ func TestMixtureWeightsSumToOne(t *testing.T) {
 
 func TestEmptyNeighboursFallBackToUniform(t *testing.T) {
 	m := Train([]TrainingPair{makePair("only", 0, []float64{1}, opt.FGcse)})
-	mix := m.Mixture([]float64{1}, Exclude{Prog: "only", Arch: -1})
+	mix := m.Mixture([]float64{1}, WithExclude("only", -1))
 	for j := 0; j < 2; j++ {
 		if math.Abs(mix.Theta[0][j]-0.5) > 1e-9 {
 			t.Error("empty neighbour set must yield a uniform mixture")

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"portcc/internal/pcerr"
 )
 
 // Flag indexes a boolean optimisation flag.
@@ -234,7 +236,7 @@ func (c *Config) Key() string {
 func ParseKey(s string) (Config, error) {
 	var c Config
 	if len(s) != NumFlags+NumParams {
-		return c, fmt.Errorf("opt: key length %d, want %d", len(s), NumFlags+NumParams)
+		return c, fmt.Errorf("opt: %w: key length %d, want %d", pcerr.ErrInvalidConfig, len(s), NumFlags+NumParams)
 	}
 	for i := 0; i < NumFlags; i++ {
 		switch s[i] {
@@ -242,13 +244,13 @@ func ParseKey(s string) (Config, error) {
 		case '1':
 			c.Flags[i] = true
 		default:
-			return c, fmt.Errorf("opt: bad flag byte %q at %d", s[i], i)
+			return c, fmt.Errorf("opt: %w: bad flag byte %q at %d", pcerr.ErrInvalidConfig, s[i], i)
 		}
 	}
 	for i := 0; i < NumParams; i++ {
 		l := s[NumFlags+i] - '0'
 		if l >= ParamLevelCount {
-			return c, fmt.Errorf("opt: bad level byte %q at %d", s[NumFlags+i], i)
+			return c, fmt.Errorf("opt: %w: bad level byte %q at %d", pcerr.ErrInvalidConfig, s[NumFlags+i], i)
 		}
 		c.Params[i] = l
 	}

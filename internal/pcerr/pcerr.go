@@ -1,0 +1,53 @@
+// Package pcerr is the typed error vocabulary shared by the portcc facade
+// and the internal pipeline packages. The sentinels support errors.Is and
+// the structured types support errors.As, so callers (and, later, shard
+// coordinators) can discriminate failures programmatically instead of
+// matching message strings. The portcc package re-exports everything here.
+package pcerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrUnknownProgram reports a benchmark name outside the suite.
+	ErrUnknownProgram = errors.New("unknown program")
+	// ErrInvalidConfig reports an optimisation, microarchitecture or
+	// request configuration outside its legal space.
+	ErrInvalidConfig = errors.New("invalid configuration")
+	// ErrDatasetVersion reports a dataset file whose schema version does
+	// not match this build (including pre-versioning and foreign files).
+	ErrDatasetVersion = errors.New("dataset schema version mismatch")
+)
+
+// SimError locates a failure inside the exploration grid: which program,
+// which optimisation-setting index and which architecture index (the first
+// of the failing batch) was being evaluated. Index -1 means "not known in
+// this context".
+type SimError struct {
+	Program string
+	Setting int
+	Arch    int
+	Err     error
+}
+
+func (e *SimError) Error() string {
+	return fmt.Sprintf("simulating %s (setting %d, arch %d): %v", e.Program, e.Setting, e.Arch, e.Err)
+}
+
+func (e *SimError) Unwrap() error { return e.Err }
+
+// PartialError reports an operation that stopped early - typically by
+// context cancellation - after completing Done of Total work cells. It
+// wraps the cause, so errors.Is(err, context.Canceled) still holds.
+type PartialError struct {
+	Done, Total int
+	Err         error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("stopped after %d/%d cells: %v", e.Done, e.Total, e.Err)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }

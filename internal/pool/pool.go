@@ -1,0 +1,99 @@
+// Package pool runs indexed jobs over a bounded worker pool with the
+// deterministic error semantics shared by the exploration engine and the
+// experiment drivers: dispatch in index order, stop dispatching on the
+// first failure, let already-dispatched lower-index jobs finish, and
+// report the error of the lowest-indexed failing job - independent of
+// worker scheduling. Context cancellation stops dispatch and skips
+// remaining jobs promptly; the caller distinguishes it by checking
+// ctx.Err() after Run returns.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count against n jobs: <=0 selects
+// GOMAXPROCS, and the pool never exceeds n. Run applies this clamp
+// itself; callers sizing per-slot state use the same function so the
+// slot range [0, Workers(workers, n)) is a single shared contract.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// Run fans jobs 0..n-1 over a pool of Workers(workers, n) goroutines.
+// work(slot, index) is called with slot in [0, Workers(workers, n));
+// at most one job runs on a slot at a time, so per-slot state
+// (evaluators, caches) needs no locking. Run blocks until every worker
+// has exited and returns the number of jobs that completed successfully
+// plus the lowest-indexed job error, nil if none.
+func Run(ctx context.Context, workers, n int, work func(slot, index int) error) (done int, err error) {
+	workers = Workers(workers, n)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstIdx  int
+		firstErr  error
+		stopped   atomic.Bool
+		completed atomic.Int64
+	)
+	fail := func(idx int, err error) {
+		mu.Lock()
+		if firstErr == nil || idx < firstIdx {
+			firstIdx, firstErr = idx, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	// Dispatch is in index order, so every job below a failing index has
+	// already been handed out; running those (and only those) after a
+	// failure makes the reported error the lowest failing index among
+	// the dispatched jobs, independent of worker scheduling.
+	skip := func(idx int) bool {
+		if !stopped.Load() {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil && idx > firstIdx
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for idx := range jobs {
+				if ctx.Err() != nil || skip(idx) {
+					continue
+				}
+				if err := work(slot, idx); err != nil {
+					fail(idx, err)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}(w)
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		if stopped.Load() {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return int(completed.Load()), firstErr
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"portcc/internal/ir"
+	"portcc/internal/pcerr"
 )
 
 // builderFunc constructs one benchmark program.
@@ -79,9 +80,15 @@ func SortedNames() []string {
 func Build(name string) (*ir.Module, error) {
 	f, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("prog: unknown program %q", name)
+		return nil, fmt.Errorf("prog: %w: %q", pcerr.ErrUnknownProgram, name)
 	}
 	return f().Build()
+}
+
+// Known reports whether name is in the benchmark suite, without building it.
+func Known(name string) bool {
+	_, ok := registry[name]
+	return ok
 }
 
 // MustBuild is Build panicking on unknown names or definition bugs.

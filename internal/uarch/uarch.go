@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"portcc/internal/pcerr"
 )
 
 // Parameter value lists (Table 2). Every parameter varies as a power of 2.
@@ -64,7 +66,7 @@ func (c Config) Validate() error {
 				return nil
 			}
 		}
-		return fmt.Errorf("uarch: %s = %d not in %v", name, v, list)
+		return fmt.Errorf("uarch: %w: %s = %d not in %v", pcerr.ErrInvalidConfig, name, v, list)
 	}
 	checks := []error{
 		check(c.IL1Size, CacheSizes, "IL1Size"),

@@ -13,24 +13,41 @@
 //
 // # Quick start
 //
-//	compiler := portcc.New()
-//	result, err := compiler.Run("rijndael_e", portcc.O3(), portcc.XScale())
+// The entry point is a Session, configured with functional options; every
+// long-running method takes a context and stops promptly - draining its
+// workers - on cancellation:
+//
+//	ctx := context.Background()
+//	s := portcc.NewSession(portcc.WithWorkers(4))
+//	result, err := s.Run(ctx, "rijndael_e", portcc.O3(), portcc.XScale())
 //
 // To use the learned model end-to-end (Figure 2's deployment path):
 //
-//	ds, _ := portcc.TinyScale().Dataset(false)
+//	s := portcc.NewSession(portcc.WithScale(portcc.TinyScale()))
+//	ds, _ := s.GenerateDataset(ctx, false)
 //	model, _ := portcc.TrainModel(ds)
-//	cfg, _ := compiler.OptimizeFor("rijndael_e", arch, model) // one -O3 profile run + prediction
+//	cfg, _ := s.OptimizeFor(ctx, "rijndael_e", arch, model) // one -O3 profile run + prediction
+//
+// Design-space exploration streams results as grid cells complete, over a
+// bounded worker pool:
+//
+//	req, _ := s.NewExploreRequest(false)
+//	for res, err := range s.Explore(ctx, req) {
+//		if err != nil { ... } // typed: SimError, PartialError, ErrUnknownProgram, ...
+//		use(res)
+//	}
+//
+// Errors discriminate with errors.Is/As against the typed vocabulary in
+// errors.go. The pre-context Compiler facade remains as a deprecated shim.
 package portcc
 
 import (
-	"fmt"
+	"context"
 
 	"portcc/internal/codegen"
 	"portcc/internal/cpu"
 	"portcc/internal/dataset"
 	"portcc/internal/experiments"
-	"portcc/internal/features"
 	"portcc/internal/ml"
 	"portcc/internal/opt"
 	"portcc/internal/prog"
@@ -71,65 +88,6 @@ func SmallScale() Scale  { return experiments.Small }
 func MediumScale() Scale { return experiments.Medium }
 func PaperScale() Scale  { return experiments.Paper }
 
-// Compiler is the user-facing facade: compile benchmarks under chosen
-// optimisation settings and run them on simulated microarchitectures.
-type Compiler struct {
-	ev *dataset.Evaluator
-}
-
-// New builds a compiler with default workload scaling.
-func New() *Compiler {
-	return &Compiler{ev: dataset.NewEvaluator(dataset.EvalConfig{})}
-}
-
-// Compile builds the named benchmark under the given optimisation setting
-// and returns its binary image.
-func (c *Compiler) Compile(program string, cfg OptConfig) (*Binary, error) {
-	_, p, err := c.ev.Trace(program, &cfg)
-	return p, err
-}
-
-// Run compiles and simulates the named benchmark on an architecture,
-// returning cycles and performance counters.
-func (c *Compiler) Run(program string, cfg OptConfig, arch Arch) (RunResult, error) {
-	return c.ev.Run(program, &cfg, arch)
-}
-
-// RunBatch compiles the program once and replays its trace on every
-// architecture in a single batched pass (bit-identical to calling Run per
-// architecture, but the trace is streamed once and cache/BTB state is
-// deduplicated by geometry). This is the fast path for design-space
-// exploration: one binary, many microarchitectures.
-func (c *Compiler) RunBatch(program string, cfg OptConfig, archs []Arch) ([]RunResult, error) {
-	tr, _, err := c.ev.Trace(program, &cfg)
-	if err != nil {
-		return nil, err
-	}
-	return c.ev.SimulateBatch(tr, archs), nil
-}
-
-// CyclesPerRun returns the work-normalised execution time (cycles per
-// complete program run), the metric speedups are computed from.
-func (c *Compiler) CyclesPerRun(program string, cfg OptConfig, arch Arch) (float64, error) {
-	return c.ev.CyclesPerRun(program, &cfg, arch)
-}
-
-// Speedup measures cfg against -O3 on the given architecture.
-func (c *Compiler) Speedup(program string, cfg OptConfig, arch Arch) (float64, error) {
-	base, err := c.CyclesPerRun(program, O3(), arch)
-	if err != nil {
-		return 0, err
-	}
-	got, err := c.CyclesPerRun(program, cfg, arch)
-	if err != nil {
-		return 0, err
-	}
-	if got == 0 {
-		return 0, fmt.Errorf("portcc: zero cycle count for %s", program)
-	}
-	return base / got, nil
-}
-
 // TrainModel fits the paper's model on a dataset: per-pair IID
 // distributions over the good optimisation settings, combined at
 // prediction time by KNN in feature space.
@@ -141,17 +99,58 @@ func TrainModel(ds *Dataset) (*Model, error) {
 	return ml.Train(pairs), nil
 }
 
-// OptimizeFor is the deployment path of Figure 2: one profile run of the
-// program at -O3 on the target architecture supplies the performance
-// counters; the model predicts the best passes; the returned configuration
-// is ready to compile with.
-func (c *Compiler) OptimizeFor(program string, arch Arch, m *Model) (OptConfig, error) {
-	r, err := c.ev.Run(program, ptrTo(O3()), arch)
-	if err != nil {
-		return OptConfig{}, err
-	}
-	x := features.Vector(arch, &r)
-	return m.Predict(x, ml.Exclude{Prog: "", Arch: -1}), nil
+// Compiler is the pre-Session facade.
+//
+// Deprecated: use Session, which adds context cancellation, functional
+// options, typed errors and streaming exploration. Compiler delegates to
+// a Session with background contexts.
+type Compiler struct {
+	s *Session
 }
 
-func ptrTo(c OptConfig) *OptConfig { return &c }
+// New builds a compiler with default workload scaling.
+//
+// Deprecated: use NewSession.
+func New() *Compiler { return &Compiler{s: NewSession()} }
+
+// Compile builds the named benchmark under the given optimisation setting.
+//
+// Deprecated: use Session.Compile.
+func (c *Compiler) Compile(program string, cfg OptConfig) (*Binary, error) {
+	return c.s.Compile(context.Background(), program, cfg)
+}
+
+// Run compiles and simulates the named benchmark on an architecture.
+//
+// Deprecated: use Session.Run.
+func (c *Compiler) Run(program string, cfg OptConfig, arch Arch) (RunResult, error) {
+	return c.s.Run(context.Background(), program, cfg, arch)
+}
+
+// RunBatch replays the program's trace on every architecture in one pass.
+//
+// Deprecated: use Session.RunBatch.
+func (c *Compiler) RunBatch(program string, cfg OptConfig, archs []Arch) ([]RunResult, error) {
+	return c.s.RunBatch(context.Background(), program, cfg, archs)
+}
+
+// CyclesPerRun returns cycles per complete program run.
+//
+// Deprecated: use Session.CyclesPerRun.
+func (c *Compiler) CyclesPerRun(program string, cfg OptConfig, arch Arch) (float64, error) {
+	return c.s.CyclesPerRun(context.Background(), program, cfg, arch)
+}
+
+// Speedup measures cfg against -O3 on the given architecture.
+//
+// Deprecated: use Session.Speedup.
+func (c *Compiler) Speedup(program string, cfg OptConfig, arch Arch) (float64, error) {
+	return c.s.Speedup(context.Background(), program, cfg, arch)
+}
+
+// OptimizeFor predicts the best passes from one -O3 profile run.
+//
+// Deprecated: use Session.OptimizeFor.
+func (c *Compiler) OptimizeFor(program string, arch Arch, m *Model) (OptConfig, error) {
+	return c.s.OptimizeFor(context.Background(), program, arch, m)
+}

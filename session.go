@@ -1,0 +1,246 @@
+package portcc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"portcc/internal/dataset"
+	"portcc/internal/features"
+)
+
+// Progress reports completed exploration work cells. Total is fixed for
+// the lifetime of one operation; Done increases monotonically.
+type Progress struct {
+	Done, Total int
+}
+
+// Fraction returns completion in [0, 1].
+func (p Progress) Fraction() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Done) / float64(p.Total)
+}
+
+// Option configures a Session (functional options).
+type Option func(*sessionConfig)
+
+type sessionConfig struct {
+	workers     int
+	scale       Scale
+	scaleSet    bool
+	cacheBudget int64
+	progress    func(Progress)
+}
+
+// WithWorkers bounds the worker pool used by Explore and GenerateDataset
+// (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *sessionConfig) { c.workers = n }
+}
+
+// WithScale selects the sampling scale (trace lengths, dataset sizes) the
+// session's operations default to. The default is SmallScale for dataset
+// work and full-length traces for single runs.
+func WithScale(s Scale) Option {
+	return func(c *sessionConfig) { c.scale, c.scaleSet = s, true }
+}
+
+// WithCacheBudget bounds the per-worker compiled-trace cache by
+// approximate resident bytes (default: a small fixed entry count).
+func WithCacheBudget(bytes int64) Option {
+	return func(c *sessionConfig) { c.cacheBudget = bytes }
+}
+
+// WithProgress installs a progress callback invoked after every completed
+// exploration cell. Calls are serialised; keep the callback cheap.
+func WithProgress(fn func(Progress)) Option {
+	return func(c *sessionConfig) { c.progress = fn }
+}
+
+// Session is the user-facing entry point: compile benchmarks under chosen
+// optimisation settings, run them on simulated microarchitectures, and
+// stream design-space explorations. A Session is safe for concurrent use;
+// every long-running method takes a context and stops promptly - draining
+// its workers - when the context is cancelled.
+type Session struct {
+	cfg sessionConfig
+	ev  *dataset.Evaluator
+
+	mu       sync.Mutex
+	baseline map[baselineKey]*baselineEntry // memoised -O3 cycles-per-run
+}
+
+type baselineKey struct {
+	program string
+	arch    Arch
+}
+
+// baselineEntry single-flights the -O3 baseline computation: concurrent
+// Speedup calls for the same (program, arch) wait for one simulation
+// instead of each running their own.
+type baselineEntry struct {
+	once sync.Once
+	v    float64
+	err  error
+}
+
+// NewSession builds a session from functional options:
+//
+//	s := portcc.NewSession(portcc.WithWorkers(8), portcc.WithScale(portcc.TinyScale()))
+func NewSession(opts ...Option) *Session {
+	var cfg sessionConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Session{cfg: cfg, baseline: map[baselineKey]*baselineEntry{}}
+	s.ev = dataset.NewEvaluator(s.evalConfig())
+	return s
+}
+
+// evalConfig derives the evaluator workload parameters from the options:
+// the scale's derivation (via genConfig, the single source) when a scale
+// was chosen, full-length default traces otherwise.
+func (s *Session) evalConfig() dataset.EvalConfig {
+	if s.cfg.scaleSet {
+		return s.genConfig(false).Eval
+	}
+	return dataset.EvalConfig{CacheBudget: s.cfg.cacheBudget}
+}
+
+// scale returns the session scale (SmallScale unless WithScale was given).
+func (s *Session) scale() Scale {
+	if s.cfg.scaleSet {
+		return s.cfg.scale
+	}
+	return SmallScale()
+}
+
+// Stats returns how many compiles and simulations the session's own
+// evaluator has performed (Explore and GenerateDataset use per-worker
+// evaluators and are not counted here).
+func (s *Session) Stats() (compiles, simulations int) {
+	return s.ev.Stats()
+}
+
+// Compile builds the named benchmark under the given optimisation setting
+// and returns its binary image.
+func (s *Session) Compile(ctx context.Context, program string, cfg OptConfig) (*Binary, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, p, err := s.ev.Trace(program, &cfg)
+	return p, err
+}
+
+// Run compiles and simulates the named benchmark on an architecture,
+// returning cycles and the Table 1 performance counters.
+func (s *Session) Run(ctx context.Context, program string, cfg OptConfig, arch Arch) (RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return RunResult{}, err
+	}
+	if err := arch.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	return s.ev.Run(program, &cfg, arch)
+}
+
+// RunBatch compiles the program once and replays its trace on every
+// architecture in a single batched pass (bit-identical to calling Run per
+// architecture, but the trace is streamed once and cache/BTB state is
+// deduplicated by geometry). This is the fast path for design-space
+// exploration: one binary, many microarchitectures.
+func (s *Session) RunBatch(ctx context.Context, program string, cfg OptConfig, archs []Arch) ([]RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, a := range archs {
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("portcc: arch %d: %w", i, err)
+		}
+	}
+	tr, _, err := s.ev.Trace(program, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.ev.SimulateBatch(tr, archs), nil
+}
+
+// CyclesPerRun returns the work-normalised execution time (cycles per
+// complete program run), the metric speedups are computed from.
+func (s *Session) CyclesPerRun(ctx context.Context, program string, cfg OptConfig, arch Arch) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := arch.Validate(); err != nil {
+		return 0, err
+	}
+	return s.ev.CyclesPerRun(program, &cfg, arch)
+}
+
+// Speedup measures cfg against -O3 on the given architecture. The -O3
+// denominator is memoised per (program, architecture) on the session, so
+// iterative-compilation loops pay for one baseline simulation, not one
+// per candidate.
+func (s *Session) Speedup(ctx context.Context, program string, cfg OptConfig, arch Arch) (float64, error) {
+	base, err := s.baselineCyclesPerRun(ctx, program, arch)
+	if err != nil {
+		return 0, err
+	}
+	got, err := s.CyclesPerRun(ctx, program, cfg, arch)
+	if err != nil {
+		return 0, err
+	}
+	if got == 0 {
+		return 0, fmt.Errorf("portcc: zero cycle count for %s", program)
+	}
+	return base / got, nil
+}
+
+func (s *Session) baselineCyclesPerRun(ctx context.Context, program string, arch Arch) (float64, error) {
+	key := baselineKey{program: program, arch: arch}
+	for {
+		s.mu.Lock()
+		en, ok := s.baseline[key]
+		if !ok {
+			en = &baselineEntry{}
+			s.baseline[key] = en
+		}
+		s.mu.Unlock()
+		en.once.Do(func() { en.v, en.err = s.CyclesPerRun(ctx, program, O3(), arch) })
+		if en.err == nil {
+			return en.v, nil
+		}
+		// Failures are not memoised: drop the entry so later calls retry.
+		s.mu.Lock()
+		if s.baseline[key] == en {
+			delete(s.baseline, key)
+		}
+		s.mu.Unlock()
+		// A cancellation may belong to a concurrent caller's context, not
+		// ours: if our context is still live, retry with a fresh entry
+		// rather than surfacing someone else's cancellation.
+		if ctx.Err() == nil && (errors.Is(en.err, context.Canceled) || errors.Is(en.err, context.DeadlineExceeded)) {
+			continue
+		}
+		return 0, en.err
+	}
+}
+
+// OptimizeFor is the deployment path of Figure 2: one profile run of the
+// program at -O3 on the target architecture supplies the performance
+// counters; the model predicts the best passes; the returned configuration
+// is ready to compile with.
+func (s *Session) OptimizeFor(ctx context.Context, program string, arch Arch, m *Model) (OptConfig, error) {
+	r, err := s.Run(ctx, program, O3(), arch)
+	if err != nil {
+		return OptConfig{}, err
+	}
+	x := features.Vector(arch, &r)
+	return m.Predict(x), nil
+}
