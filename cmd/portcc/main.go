@@ -25,8 +25,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("portcc: ")
 	progName := flag.String("prog", "rijndael_e", "benchmark program to compile")
 	il1 := flag.Int("il1", 32<<10, "instruction cache size in bytes")
 	il1Assoc := flag.Int("il1assoc", 32, "instruction cache associativity")
@@ -35,9 +33,7 @@ func main() {
 	btb := flag.Int("btb", 512, "branch target buffer entries")
 	modelFile := flag.String("model", "", "dataset file to train the model from")
 	list := flag.Bool("list", false, "list available benchmark programs")
-	flag.Parse()
-
-	ctx, stop := cliutil.SignalContext()
+	ctx, stop := cliutil.Init("portcc")
 	defer stop()
 
 	if *list {

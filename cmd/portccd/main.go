@@ -1,0 +1,79 @@
+// Command portccd is the exploration worker daemon of distributed
+// dataset generation: it serves (program, setting, arch-batch) work
+// cells shipped by a sharded coordinator (trainer -shards, expgen
+// -shards, or any Session with WithShards), executing them on this
+// machine's worker pool and streaming the results back over gob/TCP.
+//
+// Usage:
+//
+//	portccd [-listen :7077] [-workers N] [-heartbeat 1s]
+//
+// The wire handshake carries the protocol and dataset schema versions,
+// so a coordinator built against a different schema is refused with a
+// typed error instead of gob decode noise. Quiet connections carry
+// heartbeats; a coordinator that misses a few treats this shard as dead
+// and requeues its cells elsewhere.
+//
+// The first SIGTERM (or SIGINT) drains gracefully: the daemon stops
+// accepting connections, finishes the assignments already in flight
+// (their results still stream back), and exits; coordinators requeue
+// everything else onto surviving shards. A second signal hard-stops:
+// in-flight cells are abandoned and the exit is forced after a short
+// grace (coordinators detect the drop and requeue).
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"portcc/internal/dataset"
+	"portcc/internal/sched"
+	"portcc/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("portccd: ")
+	listen := flag.String("listen", ":7077", "address to serve coordinator connections on")
+	workers := flag.Int("workers", 0, "cell worker pool size (0 = GOMAXPROCS)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "liveness heartbeat period on quiet connections")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving exploration cells on %s (protocol v%d, dataset format v%d)",
+		ln.Addr(), wire.ProtoVersion, dataset.FormatVersion)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drain := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("draining: finishing in-flight assignments (signal again to hard-stop)")
+		close(drain)
+		<-sig
+		log.Print("hard stop: abandoning in-flight work")
+		cancel()
+		// Cells already inside compile/simulate are not context-aware;
+		// give the serve loop a moment to unwind, then force the exit
+		// so "hard stop" means what it says.
+		time.AfterFunc(2*time.Second, func() { os.Exit(1) })
+	}()
+
+	cfg := dataset.ServeConfig(*workers, *heartbeat)
+	cfg.Drain = drain
+	cfg.Logf = log.Printf
+	if err := sched.Serve(ctx, ln, cfg); err != nil {
+		log.Fatal(err)
+	}
+}

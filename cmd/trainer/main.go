@@ -5,9 +5,15 @@
 // Generation streams through the Session exploration engine: progress is
 // printed per completed grid cell and Ctrl-C cancels cleanly.
 //
+// With -shards the grid's work cells are shipped to portccd worker
+// daemons over gob/TCP instead of the local pool; the written dataset is
+// bit-identical either way, including when a shard dies mid-run (its
+// cells requeue onto the survivors).
+//
 // Usage:
 //
-//	trainer -out dataset.gob [-scale small] [-archs N] [-opts N] [-extended] [-workers N]
+//	trainer -out dataset.gob [-scale small] [-archs N] [-opts N]
+//	        [-extended] [-workers N] [-shards host:port,host:port]
 package main
 
 import (
@@ -23,25 +29,20 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("trainer: ")
+	var cf cliutil.Flags
+	cf.RegisterScale("small")
+	cf.RegisterWorkers()
+	cf.RegisterShards()
 	out := flag.String("out", "dataset.gob", "output file")
-	scaleName := flag.String("scale", "small", "sampling scale: tiny, small, medium or paper")
 	archs := flag.Int("archs", 0, "override architecture sample count")
 	opts := flag.Int("opts", 0, "override optimisation sample count")
 	extended := flag.Bool("extended", false, "use the Section 7 extended space")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	flag.Parse()
-
-	ctx, stop := cliutil.SignalContext()
+	ctx, stop := cliutil.Init("trainer")
 	defer stop()
 
-	scale, ok := map[string]portcc.Scale{
-		"tiny": experiments.Tiny, "small": experiments.Small,
-		"medium": experiments.Medium, "paper": experiments.Paper,
-	}[*scaleName]
+	scale, ok := experiments.ScaleByName(cf.Scale)
 	if !ok {
-		log.Fatalf("unknown scale %q", *scaleName)
+		log.Fatalf("unknown scale %q", cf.Scale)
 	}
 	if *archs > 0 {
 		scale.NumArchs = *archs
@@ -50,10 +51,12 @@ func main() {
 		scale.NumOpts = *opts
 	}
 
-	report, finishProgress := cliutil.ProgressPrinter(os.Stderr)
+	shards := cf.Shards()
+	report, finishProgress := cliutil.ProgressPrinter(os.Stderr, len(shards))
 	session := portcc.NewSession(
 		portcc.WithScale(scale),
-		portcc.WithWorkers(*workers),
+		portcc.WithWorkers(cf.Workers),
+		portcc.WithShards(shards...),
 		portcc.WithProgress(func(p portcc.Progress) { report(p.Done, p.Total) }),
 	)
 

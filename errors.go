@@ -19,8 +19,17 @@ var (
 	// microarchitecture or request outside its legal space.
 	ErrInvalidConfig = pcerr.ErrInvalidConfig
 	// ErrDatasetVersion reports a dataset file whose schema version does
-	// not match this build (LoadDataset).
+	// not match this build (LoadDataset), or a portccd worker shard
+	// built against a different schema version (WithShards).
 	ErrDatasetVersion = pcerr.ErrDatasetVersion
+	// ErrWireVersion reports a portccd worker shard speaking an
+	// incompatible coordinator/worker wire protocol version.
+	ErrWireVersion = pcerr.ErrWireVersion
+	// ErrShardFailure reports a sharded exploration that ran out of
+	// worker shards: dead shards requeue onto survivors, so this
+	// surfaces only when every shard has failed. It wraps the last
+	// shard's underlying error.
+	ErrShardFailure = pcerr.ErrShardFailure
 )
 
 type (

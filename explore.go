@@ -36,8 +36,10 @@ type (
 // early cancels and drains the pool. If the request does not pin Eval,
 // the session's workload scale is used.
 //
-// Explore is the engine GenerateDataset and cmd/expgen run on, and the
-// seam a future coordinator/worker sharding plugs into.
+// Explore is the engine GenerateDataset and cmd/expgen run on. With
+// WithShards the cells ship to portccd worker daemons over gob/TCP
+// (dead shards requeue onto survivors) and the stream is bit-identical
+// to a local run; without it they fan over the in-process pool.
 func (s *Session) Explore(ctx context.Context, req ExploreRequest) iter.Seq2[ExploreResult, error] {
 	if req.Eval == (dataset.EvalConfig{}) {
 		// Same derivation as NewExploreRequest/GenerateDataset, so a
@@ -58,7 +60,7 @@ func (s *Session) genConfig(extended bool) dataset.GenConfig {
 }
 
 func (s *Session) exploreOptions() dataset.ExploreOptions {
-	o := dataset.ExploreOptions{Workers: s.cfg.workers}
+	o := dataset.ExploreOptions{Workers: s.cfg.workers, Shards: s.cfg.shards}
 	if fn := s.cfg.progress; fn != nil {
 		o.Progress = func(done, total int) { fn(Progress{Done: done, Total: total}) }
 	}

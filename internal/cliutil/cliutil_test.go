@@ -1,0 +1,43 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlagsShardsParsing(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"host:1", 1},
+		{"a:1,b:2", 2},
+		{" a:1 , b:2 ,", 2}, // whitespace and trailing commas are noise
+	} {
+		f := Flags{shards: tc.in}
+		if got := f.Shards(); len(got) != tc.want {
+			t.Errorf("Shards(%q) = %v, want %d entries", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestProgressPrinterShardAnnotation(t *testing.T) {
+	var local, sharded strings.Builder
+	report, _ := ProgressPrinter(&local, 0)
+	report(3, 10)
+	if strings.Contains(local.String(), "shards") {
+		t.Errorf("local progress line %q mentions shards", local.String())
+	}
+	report, finish := ProgressPrinter(&sharded, 2)
+	report(3, 10)
+	if !strings.Contains(sharded.String(), "3/10 cells") || !strings.Contains(sharded.String(), "(2 shards)") {
+		t.Errorf("sharded progress line %q lacks cells done/total or shard count", sharded.String())
+	}
+	// finish terminates a half-drawn line exactly once.
+	finish()
+	finish()
+	if got := strings.Count(sharded.String(), "\n"); got != 1 {
+		t.Errorf("%d newlines after finish, want 1", got)
+	}
+}

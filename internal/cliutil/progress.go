@@ -3,11 +3,62 @@ package cliutil
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"os/signal"
+	"strings"
 )
+
+// Flags is the option set shared by the portcc command-line tools:
+// sampling scale, worker-pool size, and the shard list for distributed
+// exploration. Each tool registers the subset it uses and calls Init for
+// the common prologue.
+type Flags struct {
+	Scale   string
+	Workers int
+	shards  string
+}
+
+// RegisterScale installs the shared -scale flag.
+func (f *Flags) RegisterScale(def string) {
+	flag.StringVar(&f.Scale, "scale", def, "sampling scale: tiny, small, medium or paper")
+}
+
+// RegisterWorkers installs the shared -workers flag.
+func (f *Flags) RegisterWorkers() {
+	flag.IntVar(&f.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+}
+
+// RegisterShards installs the shared -shards flag.
+func (f *Flags) RegisterShards() {
+	flag.StringVar(&f.shards, "shards", "",
+		"comma-separated portccd worker addresses (host:port,...) for distributed exploration")
+}
+
+// Shards returns the parsed -shards address list, empty entries dropped
+// (so trailing commas and unset flags both mean "run locally").
+func (f *Flags) Shards() []string {
+	var addrs []string
+	for _, a := range strings.Split(f.shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// Init applies the standard tool prologue shared by every command: plain
+// log formatting under the tool's name, flag parsing, and the
+// SIGINT-cancelled context. Call it after registering flags.
+func Init(name string) (context.Context, context.CancelFunc) {
+	log.SetFlags(0)
+	log.SetPrefix(name + ": ")
+	flag.Parse()
+	return SignalContext()
+}
 
 // SignalContext returns a context cancelled by the first SIGINT, for
 // graceful shutdown: long-running pools drain, and single-shot Session
@@ -25,15 +76,20 @@ func SignalContext() (context.Context, context.CancelFunc) {
 }
 
 // ProgressPrinter returns a report callback that rewrites one terminal
-// status line per completed exploration cell, plus a finish func that
-// terminates the line if it is still open. Call finish before printing
-// anything else (errors included) after a run that may have stopped
-// early, so the message does not land on the half-drawn line; it is a
-// no-op when the line already completed.
-func ProgressPrinter(w io.Writer) (report func(done, total int), finish func()) {
+// status line per completed exploration cell - annotated with the shard
+// count when the run is distributed (shards > 0) - plus a finish func
+// that terminates the line if it is still open. Call finish before
+// printing anything else (errors included) after a run that may have
+// stopped early, so the message does not land on the half-drawn line;
+// it is a no-op when the line already completed.
+func ProgressPrinter(w io.Writer, shards int) (report func(done, total int), finish func()) {
+	where := ""
+	if shards > 0 {
+		where = fmt.Sprintf(" (%d shards)", shards)
+	}
 	open := false
 	report = func(done, total int) {
-		fmt.Fprintf(w, "\rexploring: %d/%d cells (%.0f%%)", done, total, 100*float64(done)/float64(total))
+		fmt.Fprintf(w, "\rexploring: %d/%d cells (%.0f%%)%s", done, total, 100*float64(done)/float64(total), where)
 		open = done != total
 		if !open {
 			fmt.Fprintln(w)

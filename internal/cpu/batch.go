@@ -39,15 +39,23 @@
 //     itself is decoded once into dense, prefetch-friendly lists (packed
 //     PCs, memory records, branch records) that the sweeps stream over,
 //     and the trace is still read from main memory once.
+//
+// The per-block sweeps are independent within three dependency waves, so
+// SimulateBatchWith can fan them over a worker pool on multi-core
+// machines - bit-identical under any schedule; SimulateBatch keeps the
+// sequential single-core fast path.
 package cpu
 
 import (
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"portcc/internal/bpred"
 	"portcc/internal/cache"
 	"portcc/internal/isa"
+	"portcc/internal/sched"
 	"portcc/internal/trace"
 	"portcc/internal/uarch"
 )
@@ -389,11 +397,54 @@ func geomBits(sizeBytes, assoc, blockBytes int) (setBits, blockLg uint32) {
 // are bytes, so FULat-DistFU < 256.
 const fsDim = 256
 
+// parallelSweep runs f(i) for i in [0, n) over up to workers goroutines
+// (resolved through the shared sched.Workers contract; <=1 runs inline
+// with zero overhead). Tasks must touch pairwise-disjoint state, so the
+// schedule can affect only wall-clock time, never results.
+func parallelSweep(workers, n int, f func(i int)) {
+	workers = sched.Workers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // SimulateBatch replays the trace on every configuration in one
 // cache-blocked pass over the event array and returns one Result per
 // configuration, in input order. Each Result is bit-identical to
 // Simulate(tr, cfgs[i]).
 func SimulateBatch(tr *trace.Trace, cfgs []uarch.Config) []Result {
+	return SimulateBatchWith(tr, cfgs, 1)
+}
+
+// SimulateBatchWith is SimulateBatch with the independent per-geometry
+// sweeps of each block - line trackers, BTB groups and data-cache stacks
+// first, then fetch streams and instruction-cache stacks, then the
+// multi-issue states - fanned over a bounded worker pool (0 =
+// GOMAXPROCS). Sweeps within a wave touch disjoint state and waves
+// barrier on their data dependencies, so any worker count and any
+// schedule is bit-identical to the sequential pass; parallelism here
+// multiplies with the program-level pools on multi-core machines.
+// Workers <= 1 (SimulateBatch's default) keeps the sequential fast path.
+func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Result {
 	if len(cfgs) == 0 {
 		return nil
 	}
@@ -617,9 +668,19 @@ func SimulateBatch(tr *trace.Trace, cfgs []uarch.Config) []Result {
 		memOps += uint64(len(memList))
 		branches += uint64(len(condList))
 
-		// Line-change detection: one tight pass over the packed PCs per
-		// block size present among the IL1 geometries.
-		for t := range lineTracks {
+		// The per-geometry sweeps below touch pairwise-disjoint state, so
+		// each wave fans over the worker pool (sequential at workers=1);
+		// the wave boundaries are the data dependencies: fetch streams
+		// read the BTB deviations and line changes, instruction stacks
+		// read the line changes, and the multi-issue replay reads every
+		// shared outcome bitset.
+
+		// Wave 1 - line-change detection (one tight pass over the packed
+		// PCs per IL1 block size), branch predictors (one fused
+		// predict+resolve sweep per BTB geometry over the block's
+		// conditional branches), and data caches (one sweep per geometry
+		// family over the packed memory events).
+		sweepLine := func(t int) {
 			lt := &lineTracks[t]
 			b := lt.blockLg
 			prev := lt.prevLine
@@ -633,12 +694,7 @@ func SimulateBatch(tr *trace.Trace, cfgs []uarch.Config) []Result {
 			}
 			lt.prevLine = prev
 		}
-
-		// Branch predictors: one fused predict+resolve sweep per BTB
-		// geometry over the block's conditional branches. Geometries are
-		// swept in pairs so their independent table lookups overlap in
-		// the memory pipeline.
-		for k := range btbs {
+		sweepBTB := func(k int) {
 			g := &btbs[k]
 			g.dev.clearWords(words)
 			if g.mispredBits != nil {
@@ -648,11 +704,31 @@ func SimulateBatch(tr *trace.Trace, cfgs []uarch.Config) []Result {
 				btbStep(g, cp)
 			}
 		}
+		sweepDC := func(k int) {
+			s := dcs[k]
+			for _, mp := range memList {
+				s.access(uint32(mp), int(mp>>32&0x7fffffff), mp>>63 != 0, true)
+			}
+		}
+		parallelSweep(workers, len(lineTracks)+len(btbs)+len(dcs), func(i int) {
+			switch {
+			case i < len(lineTracks):
+				sweepLine(i)
+			case i < len(lineTracks)+len(btbs):
+				sweepBTB(i - len(lineTracks))
+			default:
+				sweepDC(i - len(lineTracks) - len(btbs))
+			}
+		})
 
-		// Fetch streams: each stream's decisions are pure bit arithmetic
-		// - the pending redirect is the previous position's
-		// (base | deviation) outcome - folded into counters by popcount.
-		for k := range ics {
+		// Wave 2 - fetch streams (each stream's decisions are pure bit
+		// arithmetic - the pending redirect is the previous position's
+		// (base | deviation) outcome - folded into counters by popcount)
+		// and instruction caches (every state-changing access happens at
+		// a line-change position, redirect-only refetches being
+		// guaranteed MRU hits, so each merged stack replays just its
+		// block size's line changes).
+		sweepIC := func(k int) {
 			g := &ics[k]
 			dev := btbs[g.btbIdx].dev
 			carry := uint64(0)
@@ -678,12 +754,8 @@ func SimulateBatch(tr *trace.Trace, cfgs []uarch.Config) []Result {
 			g.accesses += uint64(accs)
 			g.redirects += uint64(redirs)
 		}
-
-		// Instruction caches: every state-changing access happens at a
-		// line-change position (redirect-only refetches are guaranteed
-		// MRU hits), so each merged stack replays just its block size's
-		// line changes.
-		for _, s := range icStacks {
+		sweepICStack := func(k int) {
+			s := icStacks[k]
 			changed := lineTracks[s.lineIdx].changed
 			for w := 0; w < words; w++ {
 				word := changed[w]
@@ -694,19 +766,19 @@ func SimulateBatch(tr *trace.Trace, cfgs []uarch.Config) []Result {
 				}
 			}
 		}
-
-		// Data caches: one sweep per geometry family over the block's
-		// packed memory events.
-		for _, s := range dcs {
-			for _, mp := range memList {
-				s.access(uint32(mp), int(mp>>32&0x7fffffff), mp>>63 != 0, true)
+		parallelSweep(workers, len(ics)+len(icStacks), func(i int) {
+			if i < len(ics) {
+				sweepIC(i)
+			} else {
+				sweepICStack(i - len(ics))
 			}
-		}
+		})
 
-		// Multi-issue configurations: full per-event model over the
-		// block, mirroring Simulate statement for statement with the
+		// Wave 3 - multi-issue configurations: full per-event model over
+		// the block, mirroring Simulate statement for statement with the
 		// shared outcomes read back from the bitsets.
-		for _, st := range wide {
+		parallelSweep(workers, len(wide), func(i int) {
+			st := wide[i]
 			g := &ics[st.icIdx]
 			bg := &btbs[st.btbIdx]
 			w := st.width
@@ -773,7 +845,7 @@ func SimulateBatch(tr *trace.Trace, cfgs []uarch.Config) []Result {
 				}
 				prevMem, prevCtl = isMem, op.IsControl()
 			}
-		}
+		})
 	}
 
 	var aluOps, macOps, shiftOps uint64

@@ -126,6 +126,43 @@ func TestSimulateBatchRandomTraces(t *testing.T) {
 	}
 }
 
+// TestSimulateBatchParallelSweepsBitIdentical is the schedule-freedom
+// property of the parallel per-geometry sweeps: any worker count (and
+// therefore any interleaving of the line-tracker, BTB, cache-stack and
+// wide-state sweeps within their dependency waves) must produce results
+// bit-identical to the sequential pass, over real program traces, fuzzed
+// adversarial traces, and both architecture spaces.
+func TestSimulateBatchParallelSweepsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	check := func(tr *trace.Trace, archs []uarch.Config) {
+		t.Helper()
+		want := SimulateBatch(tr, archs)
+		for _, workers := range []int{0, 2, 3, 8} {
+			got := SimulateBatchWith(tr, archs, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d config %d (%v): parallel sweep differs from sequential:\n  got %+v\n want %+v",
+						workers, i, archs[i].String(), got[i], want[i])
+				}
+			}
+		}
+	}
+	m := prog.MustBuild("gs")
+	o3 := opt.O3()
+	p, err := core.Compile(m, &o3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(p, trace.Config{Runs: 1, MaxInsns: 30000, Seed: 3})
+	check(tr, sampleArchs(rng, 24, false))
+	check(tr, sampleArchs(rng, 24, true))
+	for seed := int64(0); seed < 6; seed++ {
+		frng := rand.New(rand.NewSource(seed))
+		ftr := randomTrace(frng, 2000+frng.Intn(3000))
+		check(ftr, sampleArchs(frng, 1+frng.Intn(24), seed%2 == 0))
+	}
+}
+
 // TestSimulateBatchDegenerate covers the edges: no configurations, an
 // empty trace, and duplicate configurations sharing all state.
 func TestSimulateBatchDegenerate(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -13,6 +14,19 @@ import (
 	"portcc/internal/pcerr"
 	"portcc/internal/uarch"
 )
+
+// Gob allocates wire type ids from a process-global counter in order of
+// first use, so a process that pushed frames over the shard wire before
+// saving would write different (yet equivalent) type descriptors than a
+// purely local one. Pinning the file schema's ids at init - before main
+// can touch any other gob stream - keeps Save byte-for-byte
+// deterministic across coordinator, worker and local processes, so
+// "bit-identical dataset" stays checkable with a plain file compare.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	enc.Encode(fileHeader{})
+	enc.Encode(&Dataset{})
+}
 
 // GenConfig describes a dataset to generate.
 type GenConfig struct {

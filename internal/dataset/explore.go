@@ -2,21 +2,31 @@ package dataset
 
 import (
 	"context"
+	"encoding/gob"
 	"fmt"
 	"iter"
+	"sync"
+	"time"
 
 	"portcc/internal/cpu"
 	"portcc/internal/opt"
 	"portcc/internal/pcerr"
-	"portcc/internal/pool"
 	"portcc/internal/prog"
+	"portcc/internal/sched"
 	"portcc/internal/uarch"
 )
+
+// Exploration work units cross shard boundaries as interface-typed wire
+// frame payloads; gob needs the concrete types registered.
+func init() {
+	gob.Register(ExploreRequest{})
+	gob.Register(ExploreResult{})
+}
 
 // ExploreRequest is a serialisable (gob) description of a design-space
 // exploration grid: every sampled optimisation setting of every program is
 // compiled once and replayed over the architecture sample. It carries no
-// functions or session state, so a coordinator can ship sub-grids to
+// functions or session state, so the coordinator ships sub-grids to
 // worker shards as-is.
 type ExploreRequest struct {
 	// Programs are benchmark names from the suite.
@@ -43,10 +53,17 @@ func (r *ExploreRequest) Validate() error {
 	if r.ArchBatch < 0 {
 		return fmt.Errorf("dataset: %w: negative ArchBatch", pcerr.ErrInvalidConfig)
 	}
+	seen := make(map[string]bool, len(r.Programs))
 	for _, name := range r.Programs {
 		if !prog.Known(name) {
 			return fmt.Errorf("dataset: %w: %q", pcerr.ErrUnknownProgram, name)
 		}
+		// A duplicate would double-count cells and corrupt per-program
+		// indexing in every consumer that folds by ProgIndex.
+		if seen[name] {
+			return fmt.Errorf("dataset: %w: duplicate program %q", pcerr.ErrInvalidConfig, name)
+		}
+		seen[name] = true
 	}
 	for i, a := range r.Archs {
 		if err := a.Validate(); err != nil {
@@ -72,7 +89,7 @@ func (r *ExploreRequest) Cells() int {
 
 // ExploreResult is one completed work cell: the program compiled under one
 // optimisation setting, replayed over one architecture batch. Like the
-// request it is a plain serialisable value, so shards can stream results
+// request it is a plain serialisable value, so shards stream results
 // back over the wire.
 type ExploreResult struct {
 	// ProgIndex, OptIndex and ArchStart locate the cell in the request
@@ -91,11 +108,25 @@ type ExploreResult struct {
 // ExploreOptions carries the execution (not work-unit) parameters of an
 // exploration: they stay on the driving side and are never serialised.
 type ExploreOptions struct {
-	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	// Workers bounds the in-process worker pool (0 = GOMAXPROCS).
+	// Ignored when Shards is set: parallelism then lives on the shards.
 	Workers int
 	// Progress, when set, is called after each completed cell with the
 	// number of completed cells and the total. Calls are serialised.
 	Progress func(done, total int)
+	// Shards, when non-empty, ships the grid's cells to portccd worker
+	// daemons at these host:port addresses instead of executing locally.
+	// Cells from a dead shard requeue onto the survivors; the merged
+	// stream is bit-identical to a local run of the same request.
+	Shards []string
+}
+
+// executor picks the scheduling backend the options describe.
+func (o *ExploreOptions) executor() sched.Executor {
+	if len(o.Shards) > 0 {
+		return &sched.Remote{Addrs: o.Shards}
+	}
+	return sched.Local{Workers: o.Workers}
 }
 
 // exploreCell is one unit of fan-out work.
@@ -153,11 +184,60 @@ func runCell(ev *Evaluator, req *ExploreRequest, c exploreCell) (ExploreResult, 
 	}, nil
 }
 
-// Explore streams the request's grid through a worker pool, yielding cells
-// as they complete (completion order is scheduling-dependent; use the
-// indices in each result). It is the single exploration engine: Generate,
-// the portcc Session facade and the experiment drivers all sit on top of
-// it, and a future coordinator/worker split shards exactly these cells.
+// Runner returns the in-process cell-execution function of the request's
+// grid - the Job.Run both the local executor and the worker daemon
+// (cmd/portccd) plug into the scheduler. Each worker slot gets a private
+// evaluator (its own trace cache), all sharing one pool base so a
+// program's cells spread over many slots build each module and compile
+// each -O3 probe once, not once per slot. slots bounds the slot space:
+// callers must derive it with sched.Workers so it matches the pool's
+// slot contract. The request must already be validated.
+func (r *ExploreRequest) Runner(slots int) func(slot, index int) (any, error) {
+	cells := r.cells()
+	base := NewSharedBase()
+	evs := make([]*Evaluator, slots)
+	return func(slot, index int) (any, error) {
+		if evs[slot] == nil {
+			evs[slot] = NewEvaluatorWith(r.Eval, base)
+		}
+		res, err := runCell(evs[slot], r, cells[index])
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+// ServeConfig returns the scheduler serve configuration of an
+// exploration worker: decode job specs as ExploreRequests, validate them
+// against this build's suite and spaces, and run cells on pooled
+// evaluators. cmd/portccd wraps exactly this; tests drive it in-process.
+func ServeConfig(workers int, heartbeat time.Duration) sched.ServeConfig {
+	return sched.ServeConfig{
+		Format:    FormatVersion,
+		Workers:   workers,
+		Heartbeat: heartbeat,
+		NewRun: func(spec any) (func(slot, index int) (any, error), error) {
+			req, ok := spec.(ExploreRequest)
+			if !ok {
+				return nil, fmt.Errorf("dataset: %w: job spec is %T, want ExploreRequest", pcerr.ErrInvalidConfig, spec)
+			}
+			if err := req.Validate(); err != nil {
+				return nil, err
+			}
+			return req.Runner(sched.Workers(workers, req.Cells())), nil
+		},
+	}
+}
+
+// Explore streams the request's grid through a scheduler executor,
+// yielding cells as they complete (completion order is scheduling-
+// dependent; use the indices in each result). It is the single
+// exploration engine: Generate, the portcc Session facade and the
+// experiment drivers all sit on top of it. Without Shards the cells fan
+// over the in-process worker pool; with Shards they ship to portccd
+// worker daemons over gob/TCP, with identical semantics and a merged
+// stream bit-identical to the local run.
 //
 // Semantics:
 //
@@ -166,52 +246,61 @@ func runCell(ev *Evaluator, req *ExploreRequest, c exploreCell) (ExploreResult, 
 //   - On a cell failure, dispatch stops, already-dispatched cells finish
 //     (their results are still yielded), and the terminal yield carries
 //     the error of the lowest-indexed failing cell - deterministic under
-//     any worker schedule.
+//     any worker schedule or shard layout.
+//   - A dead shard is not a failure: its unfinished cells requeue onto
+//     the surviving shards. Only when every shard has died does the
+//     terminal yield carry an error wrapping pcerr.ErrShardFailure.
 //   - On context cancellation the workers drain promptly without leaking
 //     goroutines and the terminal yield carries a *pcerr.PartialError
 //     wrapping ctx.Err() with done/total cell counts.
-//   - Breaking out of the loop early cancels and drains the pool before
-//     the iterator returns.
+//   - Breaking out of the loop early cancels and drains the executor
+//     before the iterator returns.
 func Explore(ctx context.Context, req ExploreRequest, o ExploreOptions) iter.Seq2[ExploreResult, error] {
 	return func(yield func(ExploreResult, error) bool) {
 		if err := req.Validate(); err != nil {
 			yield(ExploreResult{}, err)
 			return
 		}
-		cells := req.cells()
-		total := len(cells)
+		total := req.Cells()
 
 		ictx, cancel := context.WithCancel(ctx)
 		defer cancel()
 		results := make(chan ExploreResult)
 
-		workers := pool.Workers(o.Workers, total)
-		// One evaluator per worker slot (private trace caches), sharing
-		// program modules and -O3 probes through a pool base so a
-		// program's cells spread over many workers compile each probe
-		// once, not once per worker.
-		base := NewSharedBase()
-		evs := make([]*Evaluator, workers)
+		job := sched.Job{Spec: req, Cells: total, Format: FormatVersion}
+		if len(o.Shards) == 0 {
+			// Remote execution never runs cells coordinator-side; the
+			// evaluator pool exists only on the local path, so sharded
+			// runs do not allocate a dead runner.
+			job.Run = req.Runner(sched.Workers(o.Workers, total))
+		}
 		var firstErr error
+		var protoOnce sync.Once
+		var protoErr error
 		go func() {
 			defer close(results)
-			_, firstErr = pool.Run(ictx, workers, total, func(slot, idx int) error {
-				if evs[slot] == nil {
-					evs[slot] = NewEvaluatorWith(req.Eval, base)
-				}
-				res, err := runCell(evs[slot], &req, cells[idx])
-				if err != nil {
-					return err
+			_, firstErr = o.executor().Execute(ictx, job, func(index int, payload any) {
+				res, ok := payload.(ExploreResult)
+				if !ok {
+					// A shard that passed the version handshake but
+					// streams a foreign payload type is a protocol
+					// violation, not a coordinator panic: stop the run
+					// and surface it typed.
+					protoOnce.Do(func() {
+						protoErr = fmt.Errorf("dataset: %w: shard returned a %T payload, want ExploreResult",
+							pcerr.ErrShardFailure, payload)
+						cancel()
+					})
+					return
 				}
 				select {
 				case results <- res:
 				case <-ictx.Done():
 				}
-				return nil
 			})
 		}()
-		// drain cancels the pool and blocks until every worker has
-		// exited (results closes only after pool.Run returns), so no
+		// drain cancels the executor and blocks until every worker has
+		// exited (results closes only after Execute returns), so no
 		// goroutine outlives the iterator.
 		drain := func() {
 			cancel()
@@ -230,12 +319,19 @@ func Explore(ctx context.Context, req ExploreRequest, o ExploreOptions) iter.Seq
 				return
 			}
 		}
-		// The pool has fully drained here: results is closed, so
+		// The executor has fully drained here: results is closed, so
 		// firstErr is visible. A real cell failure outranks
 		// cancellation: it stopped dispatch first and locates the
 		// broken cell, which a bare PartialError hides.
 		if firstErr != nil {
 			yield(ExploreResult{}, firstErr)
+			return
+		}
+		// protoErr is visible for the same reason firstErr is, and only
+		// ever set alongside its own ictx cancellation - the parent ctx
+		// check below cannot mask it.
+		if protoErr != nil {
+			yield(ExploreResult{}, protoErr)
 			return
 		}
 		// A cancellation that races the final cell must not discard a

@@ -8,7 +8,7 @@ import (
 	"portcc/internal/ml"
 	"portcc/internal/opt"
 	"portcc/internal/pcerr"
-	"portcc/internal/pool"
+	"portcc/internal/sched"
 	"portcc/internal/uarch"
 )
 
@@ -56,14 +56,14 @@ func PredictWith(ctx context.Context, ds *dataset.Dataset, k int, beta float64, 
 	// The per-program evaluations are independent: the shared worker
 	// pool spreads the compile + batched-replay work over the machine,
 	// one evaluator per slot (private trace caches) with modules and
-	// -O3 probes deduplicated through a pool base. pool.Run reports the
+	// -O3 probes deduplicated through a pool base. sched.Run reports the
 	// lowest-indexed failure deterministically; a real failure outranks
 	// cancellation, which names the broken program instead of hiding it
 	// behind a PartialError.
-	workers = pool.Workers(workers, nP)
+	workers = sched.Workers(workers, nP)
 	base := dataset.NewSharedBase()
 	evs := make([]*dataset.Evaluator, workers)
-	done, firstE := pool.Run(ctx, workers, nP, func(slot, p int) error {
+	done, firstE := sched.Run(ctx, workers, nP, func(slot, p int) error {
 		if evs[slot] == nil {
 			evs[slot] = dataset.NewEvaluatorWith(ds.Cfg.Eval, base)
 		}

@@ -45,6 +45,14 @@ var (
 	Paper = Scale{Name: "paper", NumArchs: 200, NumOpts: 1000, TargetInsns: 30_000, Seed: 11}
 )
 
+// ScaleByName resolves the standard scales by their command-line names.
+func ScaleByName(name string) (Scale, bool) {
+	s, ok := map[string]Scale{
+		Tiny.Name: Tiny, Small.Name: Small, Medium.Name: Medium, Paper.Name: Paper,
+	}[name]
+	return s, ok
+}
+
 // GenConfig converts the scale into a dataset generation config.
 func (s Scale) GenConfig(extended bool) dataset.GenConfig {
 	progs := s.Programs

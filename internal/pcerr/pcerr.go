@@ -17,8 +17,17 @@ var (
 	// request configuration outside its legal space.
 	ErrInvalidConfig = errors.New("invalid configuration")
 	// ErrDatasetVersion reports a dataset file whose schema version does
-	// not match this build (including pre-versioning and foreign files).
+	// not match this build (including pre-versioning and foreign files),
+	// or a worker shard built against a different schema version.
 	ErrDatasetVersion = errors.New("dataset schema version mismatch")
+	// ErrWireVersion reports a worker shard speaking an incompatible
+	// coordinator/worker wire protocol version.
+	ErrWireVersion = errors.New("wire protocol version mismatch")
+	// ErrShardFailure reports distributed exploration that ran out of
+	// worker shards: a dead shard's cells are requeued onto survivors, so
+	// this surfaces only when every shard has failed. It wraps the last
+	// shard's underlying error.
+	ErrShardFailure = errors.New("shard failure")
 )
 
 // SimError locates a failure inside the exploration grid: which program,

@@ -1,0 +1,357 @@
+// The remote executor: cells ship to portccd worker shards as gob frames
+// over TCP. Each shard connection is one goroutine that repeatedly takes
+// a chunk of the lowest pending cell indices from a shared dispenser,
+// assigns it, and streams the results back; a shard that dies (dial
+// failure, version mismatch, connection error, missed heartbeats) has
+// its unresolved cells requeued onto the survivors, so a shard failure
+// is retried elsewhere before it can surface. Only when every shard is
+// gone with cells still unfinished does Execute report a shard error.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"portcc/internal/pcerr"
+	"portcc/internal/wire"
+)
+
+// Remote executes a job's cells on worker daemons (cmd/portccd, or any
+// Serve loop) reached over TCP.
+type Remote struct {
+	// Addrs are the shard addresses (host:port). At least one is
+	// required; cells from a dead shard requeue onto the others.
+	Addrs []string
+	// ChunkSize caps the cells assigned to a shard per round trip
+	// (default 8): larger chunks amortise the round trip and feed the
+	// shard's pool, smaller ones lose less work when a shard dies.
+	ChunkSize int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+func (r *Remote) chunkSize() int {
+	if r.ChunkSize > 0 {
+		return r.ChunkSize
+	}
+	return 8
+}
+
+func (r *Remote) dialTimeout() time.Duration {
+	if r.DialTimeout > 0 {
+		return r.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+// Execute implements Executor. Cell dispatch is in index order across
+// the shard set; the error contract matches Local's exactly (lowest-
+// indexed cell failure, cancellation left to the caller's ctx check),
+// with one addition: if every shard dies with cells unfinished, the
+// returned error wraps pcerr.ErrShardFailure and the last shard's cause.
+func (r *Remote) Execute(ctx context.Context, job Job, emit func(index int, payload any)) (int, error) {
+	if len(r.Addrs) == 0 {
+		return 0, fmt.Errorf("sched: %w: no shard addresses", pcerr.ErrInvalidConfig)
+	}
+	st := newRemoteState(job.Cells, len(r.Addrs))
+	// A cancelled coordinator must not sit out a heartbeat window: wake
+	// dispenser waiters immediately (blocked reads are poked per
+	// connection below).
+	stop := context.AfterFunc(ctx, st.wake)
+	defer stop()
+	var wg sync.WaitGroup
+	for _, addr := range r.Addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			lost, err := r.serveShard(ctx, st, addr, job, emit)
+			st.shardExit(lost, err)
+		}(addr)
+	}
+	wg.Wait()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failErr != nil {
+		return st.done, st.failErr
+	}
+	if ctx.Err() != nil {
+		// Shards torn down by our own cancellation are not failures.
+		return st.done, nil
+	}
+	return st.done, st.exhausted
+}
+
+// serveShard drives one shard connection until the grid is finished, the
+// context is cancelled, or the shard dies. It returns the cells it had
+// taken but not resolved (for requeueing) and the shard's terminal
+// error, nil for a clean finish.
+func (r *Remote) serveShard(ctx context.Context, st *remoteState, addr string, job Job, emit func(int, any)) ([]int, error) {
+	d := net.Dialer{Timeout: r.dialTimeout()}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sched: shard %s: %w", addr, err)
+	}
+	defer nc.Close()
+	// Cancellation pokes any blocked read or write on this connection.
+	// Every later re-arm goes through deadlineFor, which re-asserts the
+	// poke if it raced the cancellation, so a blocked operation survives
+	// a cancelled context by at most one deadline window.
+	stop := context.AfterFunc(ctx, func() { nc.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+
+	conn := wire.NewConn(nc)
+	// A wedged-but-connected peer (accepts TCP, never speaks) must not
+	// hang the run: the handshake and job transfer are bounded like the
+	// dial, and every blocking operation after them carries a deadline,
+	// so a shard goroutine always terminates and requeues its cells.
+	nc.SetDeadline(deadlineFor(ctx, r.dialTimeout()))
+	hb, err := conn.ClientHello(job.Format)
+	if err != nil {
+		return nil, fmt.Errorf("sched: shard %s: %w", addr, err)
+	}
+	// A live shard proves itself every heartbeat period even when its
+	// cells run long; a few missed beats mean it is gone.
+	grace := 4 * hb
+	if grace < time.Second {
+		grace = time.Second
+	}
+	if err := conn.Send(&wire.Frame{Job: &wire.Job{Spec: job.Spec}}); err != nil {
+		return nil, fmt.Errorf("sched: shard %s: sending job: %w", addr, err)
+	}
+	// The job is through; every read below re-arms per frame and every
+	// assignment write re-arms per chunk, so the handshake deadline
+	// cannot strand a later operation.
+
+	for {
+		cells := st.take(ctx, r.chunkSize())
+		if cells == nil {
+			return nil, nil
+		}
+		outstanding := make(map[int]bool, len(cells))
+		for _, c := range cells {
+			outstanding[c] = true
+		}
+		lost := func() []int {
+			l := make([]int, 0, len(outstanding))
+			for c := range outstanding {
+				l = append(l, c)
+			}
+			return l
+		}
+		// A shard that stops reading must not block the assignment write
+		// forever (its taken cells would never requeue): bound it too.
+		nc.SetWriteDeadline(deadlineFor(ctx, grace))
+		if err := conn.Send(&wire.Frame{Assign: &wire.Assign{Cells: cells}}); err != nil {
+			return lost(), fmt.Errorf("sched: shard %s: assigning cells: %w", addr, err)
+		}
+		for len(outstanding) > 0 {
+			nc.SetReadDeadline(deadlineFor(ctx, grace))
+			f, err := conn.Recv()
+			if err != nil {
+				return lost(), fmt.Errorf("sched: shard %s: %w", addr, err)
+			}
+			switch {
+			case f.Heartbeat:
+			case f.Result != nil:
+				if outstanding[f.Result.Index] {
+					delete(outstanding, f.Result.Index)
+					st.complete()
+					emit(f.Result.Index, f.Result.Payload)
+				}
+			case f.CellError != nil:
+				if outstanding[f.CellError.Index] {
+					delete(outstanding, f.CellError.Index)
+					st.fail(f.CellError.Index, remoteCellError(f.CellError))
+				}
+			case f.Fail != nil:
+				return lost(), fmt.Errorf("sched: shard %s refused job: %s", addr, f.Fail.Msg)
+			default:
+				return lost(), fmt.Errorf("sched: shard %s: unexpected %s frame", addr, f.Kind())
+			}
+		}
+	}
+}
+
+// deadlineFor is the only way shard connections re-arm deadlines: a
+// cancelled context yields an already-expired deadline, so a re-arm
+// racing the cancellation AfterFunc's poke re-asserts it instead of
+// silently granting a blocked operation another full window.
+func deadlineFor(ctx context.Context, d time.Duration) time.Time {
+	if ctx.Err() != nil {
+		return time.Unix(1, 0)
+	}
+	return time.Now().Add(d)
+}
+
+// remoteError reconstructs a transported cell failure: the message is
+// the far side's rendering, the cause restores errors.Is compatibility
+// with the pcerr sentinels.
+type remoteError struct {
+	msg   string
+	cause error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+
+func (e *remoteError) Unwrap() error { return e.cause }
+
+// remoteCellError rebuilds a wire.CellError into the error a local run
+// of the same cell would have produced: a pcerr.SimError locating the
+// cell where the shard reported one, unwrapping to the matching
+// sentinel where the shard classified one.
+func remoteCellError(ce *wire.CellError) error {
+	var inner error
+	switch ce.Code {
+	case wire.CodeUnknownProgram:
+		inner = &remoteError{msg: ce.Msg, cause: pcerr.ErrUnknownProgram}
+	case wire.CodeInvalidConfig:
+		inner = &remoteError{msg: ce.Msg, cause: pcerr.ErrInvalidConfig}
+	default:
+		inner = errors.New(ce.Msg)
+	}
+	if !ce.Sim {
+		return inner
+	}
+	return &pcerr.SimError{Program: ce.Program, Setting: ce.Setting, Arch: ce.Arch, Err: inner}
+}
+
+// remoteState is the shared cell dispenser and progress ledger of one
+// Execute call. Cells move pending -> taken (by a shard) -> resolved
+// (completed, failed, or dropped after a lower-index failure); cells
+// taken by a shard that dies move back to pending.
+type remoteState struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	pending    []int // unassigned cell indices, ascending
+	unresolved int   // cells not yet completed, failed, or dropped
+	done       int   // cells completed and emitted
+
+	failIdx int
+	failErr error // lowest-indexed cell failure
+
+	shards    int
+	live      int
+	lastErr   error // most recent shard death, for the exhausted wrap
+	exhausted error // set when every shard died with cells unfinished
+}
+
+func newRemoteState(cells, shards int) *remoteState {
+	st := &remoteState{
+		pending:    make([]int, cells),
+		unresolved: cells,
+		shards:     shards,
+		live:       shards,
+	}
+	for i := range st.pending {
+		st.pending[i] = i
+	}
+	st.cond.L = &st.mu
+	return st
+}
+
+func (st *remoteState) wake() {
+	st.mu.Lock()
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// take blocks until cells are available (requeues from dead shards
+// included) and returns up to n of the lowest pending indices, or nil
+// when the grid is finished, the run is aborted, or ctx is cancelled.
+func (st *remoteState) take(ctx context.Context, n int) []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if ctx.Err() != nil || st.unresolved == 0 || st.exhausted != nil {
+			return nil
+		}
+		if len(st.pending) > 0 {
+			if n > len(st.pending) {
+				n = len(st.pending)
+			}
+			cells := append([]int(nil), st.pending[:n]...)
+			st.pending = st.pending[n:]
+			return cells
+		}
+		// Every remaining cell is on some other shard; wait for either a
+		// finish or a requeue.
+		st.cond.Wait()
+	}
+}
+
+func (st *remoteState) complete() {
+	st.mu.Lock()
+	st.done++
+	st.resolve(1)
+	st.mu.Unlock()
+}
+
+// fail records a cell failure, keeping the lowest index, and drops every
+// pending cell above it: those are undispatched, exactly the cells the
+// local pool would never have handed out after stopping dispatch.
+func (st *remoteState) fail(idx int, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failErr == nil || idx < st.failIdx {
+		st.failIdx, st.failErr = idx, err
+	}
+	st.dropAboveFailure()
+	st.resolve(1)
+}
+
+// dropAboveFailure resolves-by-dropping pending cells above the failing
+// index. Called with st.mu held, after failIdx is set.
+func (st *remoteState) dropAboveFailure() {
+	keep := st.pending[:0]
+	for _, c := range st.pending {
+		if c < st.failIdx {
+			keep = append(keep, c)
+		} else {
+			st.resolve(1)
+		}
+	}
+	st.pending = keep
+}
+
+// resolve retires n cells and wakes dispenser waiters when the grid
+// finishes. Called with st.mu held.
+func (st *remoteState) resolve(n int) {
+	st.unresolved -= n
+	if st.unresolved == 0 {
+		st.cond.Broadcast()
+	}
+}
+
+// shardExit retires a shard: its unresolved cells go back to the
+// dispenser (minus any above a recorded failure), and if it was the last
+// live shard with work remaining, the run is marked exhausted.
+func (st *remoteState) shardExit(lost []int, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, c := range lost {
+		if st.failErr != nil && c > st.failIdx {
+			st.resolve(1)
+			continue
+		}
+		i := sort.SearchInts(st.pending, c)
+		st.pending = append(st.pending, 0)
+		copy(st.pending[i+1:], st.pending[i:])
+		st.pending[i] = c
+	}
+	st.live--
+	if err != nil {
+		st.lastErr = err
+	}
+	if st.live == 0 && st.unresolved > 0 && st.exhausted == nil {
+		st.exhausted = fmt.Errorf("sched: %w: all %d shards failed with %d cells unfinished: %w",
+			pcerr.ErrShardFailure, st.shards, st.unresolved, st.lastErr)
+	}
+	// Requeued cells or the exhausted verdict both concern waiters.
+	st.cond.Broadcast()
+}

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"portcc/internal/pcerr"
+)
+
+// TestWedgedShardDoesNotHang: a peer that accepts the TCP connection but
+// never speaks (hung daemon, wrong service behind the port) must not
+// hang Execute - the bounded handshake deadline turns it into an
+// ordinary shard failure, surfaced typed once no shards remain.
+func TestWedgedShardDoesNotHang(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // accept, then silence
+		}
+	}()
+
+	r := &Remote{Addrs: []string{ln.Addr().String()}, DialTimeout: 200 * time.Millisecond}
+	job := Job{Cells: 3, Format: 1}
+	start := time.Now()
+	done, err := r.Execute(context.Background(), job, func(int, any) {
+		t.Error("wedged shard emitted a result")
+	})
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Execute took %v against a silent peer, want bounded by the handshake deadline", elapsed)
+	}
+	if done != 0 {
+		t.Errorf("%d cells done against a silent peer, want 0", done)
+	}
+	if !errors.Is(err, pcerr.ErrShardFailure) {
+		t.Errorf("got %v, want ErrShardFailure", err)
+	}
+}
+
+// TestRemoteRequiresAddrs: a Remote without shard addresses is a
+// configuration error, not a hang or a silent local fallback.
+func TestRemoteRequiresAddrs(t *testing.T) {
+	var r Remote
+	if _, err := r.Execute(context.Background(), Job{Cells: 1, Format: 1}, func(int, any) {}); !errors.Is(err, pcerr.ErrInvalidConfig) {
+		t.Errorf("got %v, want ErrInvalidConfig", err)
+	}
+}

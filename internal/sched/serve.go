@@ -1,0 +1,228 @@
+// The worker-daemon side of remote execution: Serve accepts coordinator
+// connections and runs their assigned cells on the in-process pool,
+// streaming results back interleaved with heartbeats. cmd/portccd is a
+// thin flag wrapper around this loop; tests drive it in-process.
+package sched
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"portcc/internal/pcerr"
+	"portcc/internal/wire"
+)
+
+// Both executors satisfy the interface.
+var (
+	_ Executor = Local{}
+	_ Executor = (*Remote)(nil)
+)
+
+// ServeConfig configures a worker serve loop.
+type ServeConfig struct {
+	// Format is the application schema version announced in the
+	// handshake (for exploration workers, dataset.FormatVersion).
+	Format int
+	// Workers bounds the per-assignment cell pool (0 = GOMAXPROCS).
+	Workers int
+	// Heartbeat is the period at which quiet connections prove the
+	// worker alive (default 1s); the coordinator treats a few missed
+	// beats as a dead shard.
+	Heartbeat time.Duration
+	// NewRun turns a decoded job spec into the in-process cell runner
+	// for one connection. An error refuses the job with a Fail frame.
+	NewRun func(spec any) (func(slot, index int) (any, error), error)
+	// Drain, when closed, drains the loop gracefully: stop accepting
+	// connections, finish in-flight assignments (their results still
+	// stream back), then close. Coordinators requeue the rest elsewhere.
+	Drain <-chan struct{}
+	// Logf, when set, receives one line per connection event.
+	Logf func(format string, args ...any)
+}
+
+func (c *ServeConfig) heartbeat() time.Duration {
+	if c.Heartbeat > 0 {
+		return c.Heartbeat
+	}
+	return time.Second
+}
+
+func (c *ServeConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Serve accepts coordinator connections on ln until ctx is cancelled
+// (hard stop: in-flight work is abandoned) or cfg.Drain is closed
+// (graceful: in-flight assignments finish first), then blocks until
+// every connection handler has exited. The listener is closed on return.
+func Serve(ctx context.Context, ln net.Listener, cfg ServeConfig) error {
+	stopped := make(chan struct{})
+	defer close(stopped)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-drainChan(cfg.Drain):
+		case <-stopped:
+		}
+		ln.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || drained(cfg.Drain) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer nc.Close()
+			cfg.logf("serving %s", nc.RemoteAddr())
+			serveConn(ctx, nc, cfg)
+			cfg.logf("closed %s", nc.RemoteAddr())
+		}()
+	}
+}
+
+// drainChan never fires for a nil Drain (a nil channel blocks forever).
+func drainChan(d <-chan struct{}) <-chan struct{} { return d }
+
+func drained(d <-chan struct{}) bool {
+	select {
+	case <-d:
+		return true
+	default:
+		return false
+	}
+}
+
+// serveConn handles one coordinator connection: handshake, one job,
+// then assignments until the coordinator hangs up, the context hard-
+// stops, or a drain finishes the current assignment.
+func serveConn(ctx context.Context, nc net.Conn, cfg ServeConfig) {
+	// Cancellation kills the connection outright; a drain only pokes the
+	// read side, so the idle wait for the next assignment ends while an
+	// in-flight assignment keeps writing results. The watcher keeps
+	// listening after a drain so a later cancellation still hard-stops.
+	connDone := make(chan struct{})
+	defer close(connDone)
+	go func() {
+		drain := drainChan(cfg.Drain)
+		for {
+			select {
+			case <-ctx.Done():
+				nc.SetDeadline(time.Unix(1, 0))
+				return
+			case <-drain:
+				nc.SetReadDeadline(time.Unix(1, 0))
+				drain = nil
+			case <-connDone:
+				return
+			}
+		}
+	}()
+
+	conn := wire.NewConn(nc)
+	if err := conn.ServerHello(cfg.Format, cfg.heartbeat()); err != nil {
+		cfg.logf("%s: handshake: %v", nc.RemoteAddr(), err)
+		return
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	if f.Job == nil {
+		cfg.logf("%s: expected job, got %s frame", nc.RemoteAddr(), f.Kind())
+		return
+	}
+	run, err := cfg.NewRun(f.Job.Spec)
+	if err != nil {
+		cfg.logf("%s: refusing job: %v", nc.RemoteAddr(), err)
+		conn.Send(&wire.Frame{Fail: &wire.Fail{Msg: err.Error()}})
+		return
+	}
+
+	// Heartbeats share the connection's write lock with result frames.
+	hbDone := make(chan struct{})
+	defer close(hbDone)
+	go func() {
+		t := time.NewTicker(cfg.heartbeat())
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if conn.Send(&wire.Frame{Heartbeat: true}) != nil {
+					return
+				}
+			case <-hbDone:
+				return
+			}
+		}
+	}()
+
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if f.Assign == nil {
+			cfg.logf("%s: expected assign, got %s frame", nc.RemoteAddr(), f.Kind())
+			return
+		}
+		if !serveAssign(ctx, conn, cfg, run, f.Assign.Cells) {
+			return
+		}
+	}
+}
+
+// serveAssign resolves every assigned cell with exactly one Result or
+// CellError frame, fanning the cells over the worker pool. It reports
+// whether the connection is still worth serving.
+func serveAssign(ctx context.Context, conn *wire.Conn, cfg ServeConfig, run func(int, int) (any, error), cells []int) bool {
+	// A failed send means the coordinator is gone: stop burning work on
+	// the remaining cells (they will be requeued on a surviving shard).
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	Run(cctx, cfg.Workers, len(cells), func(slot, i int) error {
+		payload, err := run(slot, cells[i])
+		var sendErr error
+		if err != nil {
+			sendErr = conn.Send(&wire.Frame{CellError: cellError(cells[i], err)})
+		} else {
+			sendErr = conn.Send(&wire.Frame{Result: &wire.Result{Index: cells[i], Payload: payload}})
+		}
+		if sendErr != nil {
+			cancel()
+		}
+		return nil
+	})
+	return ctx.Err() == nil && cctx.Err() == nil
+}
+
+// cellError flattens a cell failure for the wire, preserving the
+// pcerr.SimError grid location and sentinel classification so the
+// coordinator reconstructs an errors.Is/As-compatible error.
+func cellError(index int, err error) *wire.CellError {
+	ce := &wire.CellError{Index: index, Msg: err.Error()}
+	var se *pcerr.SimError
+	if errors.As(err, &se) {
+		ce.Sim = true
+		ce.Program, ce.Setting, ce.Arch = se.Program, se.Setting, se.Arch
+		ce.Msg = se.Err.Error()
+	}
+	switch {
+	case errors.Is(err, pcerr.ErrUnknownProgram):
+		ce.Code = wire.CodeUnknownProgram
+	case errors.Is(err, pcerr.ErrInvalidConfig):
+		ce.Code = wire.CodeInvalidConfig
+	}
+	return ce
+}

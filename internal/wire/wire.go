@@ -1,0 +1,210 @@
+// Package wire is the coordinator/worker frame protocol of distributed
+// exploration: gob-encoded frames over one byte stream (TCP in
+// production, net.Pipe in tests). The protocol is deliberately small -
+// a version handshake, one job description, cell assignments downstream,
+// results and heartbeats upstream - and deliberately typed: version
+// mismatches between builds fail the handshake with the pcerr sentinels
+// instead of surfacing as mid-stream gob decode noise.
+//
+// Job specs and cell results cross as interface-typed payloads, so the
+// protocol is transport machinery only; the application layer registers
+// its concrete payload types with encoding/gob (the dataset package
+// registers ExploreRequest and ExploreResult).
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"portcc/internal/pcerr"
+)
+
+// ProtoVersion is the wire protocol version. Bump it whenever the frame
+// layout or the exchange sequence changes incompatibly; the handshake
+// refuses mismatched peers with pcerr.ErrWireVersion.
+const ProtoVersion = 1
+
+// Hello opens every connection, in both directions: the client sends its
+// versions first, the server always replies with its own before judging,
+// so a mismatched peer learns both sides' versions. Heartbeat is only
+// meaningful server-to-client: the period at which the server promises
+// to emit Heartbeat frames while a connection is otherwise quiet.
+type Hello struct {
+	Proto     int
+	Format    int
+	Heartbeat time.Duration
+}
+
+// Job describes the whole work grid once per connection. Spec is an
+// application value (gob-registered by the application layer) that the
+// worker turns into an executable cell runner.
+type Job struct {
+	Spec any
+}
+
+// Assign hands the worker a batch of cell indices into the job's grid.
+// The worker must resolve every assigned cell with exactly one Result or
+// CellError frame; the coordinator treats a connection that dies with
+// cells unresolved as a dead shard and requeues them elsewhere.
+type Assign struct {
+	Cells []int
+}
+
+// Result is one completed cell, identified by its grid index.
+type Result struct {
+	Index   int
+	Payload any
+}
+
+// Sentinel codes carried by CellError, so the coordinator can
+// reconstruct errors.Is-compatible failures across the wire.
+const (
+	CodeNone = iota
+	CodeUnknownProgram
+	CodeInvalidConfig
+)
+
+// CellError is one failed cell. Msg is the far side's rendering of the
+// underlying error (the original chain cannot cross the wire); the Sim
+// fields preserve pcerr.SimError's grid location when the failure had
+// one, and Code preserves the pcerr sentinel it matched.
+type CellError struct {
+	Index   int
+	Msg     string
+	Code    int
+	Sim     bool
+	Program string
+	Setting int
+	Arch    int
+}
+
+// Fail refuses a whole job (for example, a spec the worker's build
+// cannot execute). The connection closes after it.
+type Fail struct {
+	Msg string
+}
+
+// Frame is the single on-stream message type: exactly one field is
+// populated per frame (Heartbeat frames set only the flag).
+type Frame struct {
+	Hello     *Hello
+	Job       *Job
+	Assign    *Assign
+	Result    *Result
+	CellError *CellError
+	Fail      *Fail
+	Heartbeat bool
+}
+
+// Kind names the populated field, for protocol-error messages.
+func (f *Frame) Kind() string {
+	switch {
+	case f.Hello != nil:
+		return "hello"
+	case f.Job != nil:
+		return "job"
+	case f.Assign != nil:
+		return "assign"
+	case f.Result != nil:
+		return "result"
+	case f.CellError != nil:
+		return "cell-error"
+	case f.Fail != nil:
+		return "fail"
+	case f.Heartbeat:
+		return "heartbeat"
+	}
+	return "empty"
+}
+
+// Conn frames gob messages over one byte stream. Sends are serialised by
+// an internal lock, so result-streaming workers and their heartbeat
+// tickers share a connection safely; Recv must stay single-reader.
+type Conn struct {
+	wmu sync.Mutex
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewConn wraps a byte stream. Deadlines stay the caller's business: the
+// wrapper never touches the underlying net.Conn interface.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// Send writes one frame, whole, under the write lock.
+func (c *Conn) Send(f *Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(f)
+}
+
+// Recv reads the next frame.
+func (c *Conn) Recv() (*Frame, error) {
+	var f Frame
+	if err := c.dec.Decode(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// checkVersions compares a peer's Hello against this build, wrapping the
+// typed sentinels: protocol drift and application schema drift are
+// different failures with different fixes.
+func checkVersions(peer *Hello, format int) error {
+	if peer.Proto != ProtoVersion {
+		return fmt.Errorf("wire: %w: peer speaks protocol v%d, this build v%d",
+			pcerr.ErrWireVersion, peer.Proto, ProtoVersion)
+	}
+	if peer.Format != format {
+		return fmt.Errorf("wire: %w: peer carries format v%d, this build v%d",
+			pcerr.ErrDatasetVersion, peer.Format, format)
+	}
+	return nil
+}
+
+// ClientHello performs the coordinator side of the handshake: send our
+// versions, read the worker's, and verify both. It returns the worker's
+// announced heartbeat period (defaulted when unset) so the caller can
+// derive a read deadline.
+func (c *Conn) ClientHello(format int) (heartbeat time.Duration, err error) {
+	if err := c.Send(&Frame{Hello: &Hello{Proto: ProtoVersion, Format: format}}); err != nil {
+		return 0, err
+	}
+	f, err := c.Recv()
+	if err != nil {
+		return 0, err
+	}
+	if f.Hello == nil {
+		return 0, fmt.Errorf("wire: expected hello, got %s frame", f.Kind())
+	}
+	if err := checkVersions(f.Hello, format); err != nil {
+		return 0, err
+	}
+	hb := f.Hello.Heartbeat
+	if hb <= 0 {
+		hb = time.Second
+	}
+	return hb, nil
+}
+
+// ServerHello performs the worker side: read the coordinator's versions,
+// always reply with our own (a mismatched coordinator needs them to
+// report a useful error), then verify. A non-nil error means the
+// connection must be dropped without serving.
+func (c *Conn) ServerHello(format int, heartbeat time.Duration) error {
+	f, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if f.Hello == nil {
+		return fmt.Errorf("wire: expected hello, got %s frame", f.Kind())
+	}
+	if err := c.Send(&Frame{Hello: &Hello{Proto: ProtoVersion, Format: format, Heartbeat: heartbeat}}); err != nil {
+		return err
+	}
+	return checkVersions(f.Hello, format)
+}

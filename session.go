@@ -33,12 +33,24 @@ type sessionConfig struct {
 	scaleSet    bool
 	cacheBudget int64
 	progress    func(Progress)
+	shards      []string
 }
 
 // WithWorkers bounds the worker pool used by Explore and GenerateDataset
 // (default: GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(c *sessionConfig) { c.workers = n }
+}
+
+// WithShards distributes Explore and GenerateDataset over portccd worker
+// daemons at the given host:port addresses instead of the local worker
+// pool. The streamed results merge into datasets bit-identical to a
+// local run; cells from a dead shard are requeued onto the survivors,
+// and only when every shard has failed does the run surface an error
+// wrapping ErrShardFailure. Single-run methods (Run, Speedup, ...) stay
+// local. An empty address list keeps execution local.
+func WithShards(addrs ...string) Option {
+	return func(c *sessionConfig) { c.shards = append([]string(nil), addrs...) }
 }
 
 // WithScale selects the sampling scale (trace lengths, dataset sizes) the
