@@ -1,0 +1,36 @@
+// Benchmarks for the dataset-generation paths: BenchmarkGenerateNaive is
+// the per-cell compile+trace+replay baseline, BenchmarkGenerateBatched
+// the prefix-memoised sweep engine (plan trie, deduplicated traces,
+// pooled buffers). Run both at PORTCC_SCALE=small for the regime the
+// batch engine targets; cmd/benchgen emits the same comparison as JSON
+// (BENCH_generate.json) with the work counters included.
+package portcc_test
+
+import (
+	"context"
+	"testing"
+
+	"portcc/internal/dataset"
+)
+
+func benchGenerate(b *testing.B, naive bool) {
+	cfg := benchScale().GenConfig(false)
+	sims := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := dataset.GenerateWith(context.Background(), cfg, dataset.ExploreOptions{Naive: naive})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nP, nA, nO := ds.Dims()
+		sims = nP * nA * nO
+	}
+	b.ReportMetric(float64(sims)*float64(b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
+// BenchmarkGenerateNaive measures the pre-batching baseline path.
+func BenchmarkGenerateNaive(b *testing.B) { benchGenerate(b, true) }
+
+// BenchmarkGenerateBatched measures the batched compile+trace path (the
+// default); compare against BenchmarkGenerateNaive at the same scale.
+func BenchmarkGenerateBatched(b *testing.B) { benchGenerate(b, false) }

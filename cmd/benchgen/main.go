@@ -1,0 +1,172 @@
+// Command benchgen measures dataset generation throughput on this
+// machine: it runs dataset.Generate through the naive per-cell path and
+// through the prefix-memoised batched path at the same scale, checks the
+// two datasets are byte-identical, and writes the timings plus the
+// batched path's work counters as JSON (BENCH_generate.json by default).
+// CI runs it at tiny scale as a regression smoke; the committed
+// BENCH_generate.json is produced at -scale small, the compile+trace-
+// dominated regime the batched engine targets.
+//
+// Usage:
+//
+//	benchgen [-scale small] [-runs 3] [-out BENCH_generate.json]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"portcc/internal/dataset"
+	"portcc/internal/experiments"
+)
+
+// result is the JSON document benchgen emits.
+type result struct {
+	Scale      string  `json:"scale"`
+	Programs   int     `json:"programs"`
+	Archs      int     `json:"archs"`
+	Opts       int     `json:"opts"`
+	Runs       int     `json:"runs"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+	NaiveSec   float64 `json:"naive_seconds_median"`
+	BatchedSec float64 `json:"batched_seconds_median"`
+	Speedup    float64 `json:"speedup"`
+	// BaselineSec optionally records an externally measured generation
+	// time of a previous build (-baseline-seconds), for speedup claims
+	// against a baseline that lacks the naive/batched toggle. Zero when
+	// not provided.
+	BaselineSec     float64 `json:"baseline_seconds_median,omitempty"`
+	SpeedupVsBase   float64 `json:"speedup_vs_baseline,omitempty"`
+	BaselineComment string  `json:"baseline_comment,omitempty"`
+	// Work counters from one batched run, summed over all worker
+	// evaluators: the pass applications executed vs the ones the prefix
+	// trie avoided, and the trace generations skipped for settings whose
+	// binaries came out byte-identical.
+	PassRuns      int64 `json:"pass_runs"`
+	PassRunsSaved int64 `json:"pass_runs_saved"`
+	TraceReuses   int64 `json:"trace_reuses"`
+	Identical     bool  `json:"datasets_byte_identical"`
+}
+
+func main() {
+	scaleName := flag.String("scale", "small", "scale to measure (tiny|small|medium|paper)")
+	runs := flag.Int("runs", 3, "timed runs per path (median reported)")
+	out := flag.String("out", "BENCH_generate.json", "output JSON path")
+	baseline := flag.Float64("baseline-seconds", 0, "externally measured previous-build Generate seconds at this scale (recorded in the report)")
+	baselineNote := flag.String("baseline-comment", "", "how the external baseline was measured")
+	counters := flag.Bool("counters", true, "report batch work counters (costs one extra untimed single-worker pass over the grid)")
+	flag.Parse()
+
+	scale, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	cfg := scale.GenConfig(false)
+	ctx := context.Background()
+
+	encode := func(ds *dataset.Dataset) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(ds); err != nil {
+			log.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	time1 := func(naive bool) (time.Duration, *dataset.Dataset) {
+		t0 := time.Now()
+		ds, err := dataset.GenerateWith(ctx, cfg, dataset.ExploreOptions{Naive: naive})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(t0), ds
+	}
+	median := func(naive bool) (float64, *dataset.Dataset) {
+		var ts []float64
+		var ds *dataset.Dataset
+		for i := 0; i < *runs; i++ {
+			d, got := time1(naive)
+			ts = append(ts, d.Seconds())
+			ds = got
+		}
+		sort.Float64s(ts)
+		return ts[len(ts)/2], ds
+	}
+
+	fmt.Printf("measuring %s scale, %d run(s) per path\n", scale.Name, *runs)
+	naiveSec, naiveDS := median(true)
+	fmt.Printf("naive:   %.2fs (median)\n", naiveSec)
+	batchSec, batchDS := median(false)
+	fmt.Printf("batched: %.2fs (median)\n", batchSec)
+
+	// The counters need a run whose evaluator we hold: replay the grid
+	// through the request runner on one slot (an extra untimed pass;
+	// disable with -counters=false on slow boxes).
+	var stats dataset.Stats
+	if *counters {
+		req, err := cfg.Request()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("replaying the batched grid once more for work counters (untimed; -counters=false to skip)")
+		stats = measureCounters(req)
+	}
+
+	r := result{
+		Scale:         scale.Name,
+		Programs:      len(cfg.Programs),
+		Archs:         cfg.NumArchs,
+		Opts:          cfg.NumOpts,
+		Runs:          *runs,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
+		NaiveSec:      naiveSec,
+		BatchedSec:    batchSec,
+		Speedup:       naiveSec / batchSec,
+		PassRuns:      stats.PassRuns,
+		PassRunsSaved: stats.PassRunsSaved,
+		TraceReuses:   stats.TraceReuses,
+		Identical:     bytes.Equal(encode(naiveDS), encode(batchDS)),
+	}
+	if *baseline > 0 {
+		r.BaselineSec = *baseline
+		r.SpeedupVsBase = *baseline / batchSec
+		r.BaselineComment = *baselineNote
+	}
+	if !r.Identical {
+		log.Fatal("naive and batched datasets differ - refusing to write benchmark results")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("speedup %.2fx; pass runs %d (+%d saved), trace reuses %d -> %s\n",
+		r.Speedup, r.PassRuns, r.PassRunsSaved, r.TraceReuses, *out)
+}
+
+// measureCounters runs the batched grid on a single-slot runner and
+// returns the evaluator work counters (not timed).
+func measureCounters(req dataset.ExploreRequest) dataset.Stats {
+	run, ev := req.InstrumentedRunner()
+	cells := req.Cells()
+	for i := 0; i < cells; i++ {
+		if _, err := run(0, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return ev.Stats()
+}

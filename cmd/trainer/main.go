@@ -37,6 +37,7 @@ func main() {
 	archs := flag.Int("archs", 0, "override architecture sample count")
 	opts := flag.Int("opts", 0, "override optimisation sample count")
 	extended := flag.Bool("extended", false, "use the Section 7 extended space")
+	naive := flag.Bool("naive", false, "disable the batched compile engine (per-cell equivalence baseline; output is bit-identical)")
 	ctx, stop := cliutil.Init("trainer")
 	defer stop()
 
@@ -53,12 +54,16 @@ func main() {
 
 	shards := cf.Shards()
 	report, finishProgress := cliutil.ProgressPrinter(os.Stderr, len(shards))
-	session := portcc.NewSession(
+	sessionOpts := []portcc.Option{
 		portcc.WithScale(scale),
 		portcc.WithWorkers(cf.Workers),
 		portcc.WithShards(shards...),
 		portcc.WithProgress(func(p portcc.Progress) { report(p.Done, p.Total) }),
-	)
+	}
+	if *naive {
+		sessionOpts = append(sessionOpts, portcc.WithNaiveCompile())
+	}
+	session := portcc.NewSession(sessionOpts...)
 
 	start := time.Now()
 	gc := scale.GenConfig(*extended)

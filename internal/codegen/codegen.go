@@ -45,6 +45,7 @@ type FuncImage struct {
 // materialised control instructions.
 type BlockImage struct {
 	ID   int    // original IR block ID
+	Pos  int    // layout position within FuncImage.Blocks
 	Addr uint32 // address of the first instruction (after padding)
 	Pad  int    // alignment padding bytes preceding the block
 	// Insns is the body; control instructions are separate so the trace
@@ -143,7 +144,7 @@ func lowerFunc(f *ir.Func, base uint32) (*FuncImage, error) {
 		b := f.Blocks[id]
 		pad := padTo(addr, uint32(b.Align))
 		addr += pad
-		bi := &BlockImage{ID: id, Addr: addr, Pad: int(pad), Insns: b.Insns, Term: b.Term}
+		bi := &BlockImage{ID: id, Pos: pos, Addr: addr, Pad: int(pad), Insns: b.Insns, Term: b.Term}
 		next := -1
 		if pos+1 < len(layout) {
 			next = layout[pos+1]

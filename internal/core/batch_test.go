@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"portcc/internal/codegen"
+	"portcc/internal/core"
+	"portcc/internal/opt"
+	"portcc/internal/prog"
+)
+
+// imageBytes is the canonical serialisation the equivalence tests
+// byte-compare: if it matches, the trace generator cannot distinguish the
+// programs.
+func imageBytes(p *codegen.Program) []byte {
+	return codegen.AppendImage(nil, p)
+}
+
+// sweepConfigs samples a sweep the way dataset generation does: -O3 first,
+// then random settings, plus a deliberate duplicate (of the returned
+// index, appended last) to exercise plan-level sharing.
+func sweepConfigs(seed int64, n int) ([]*opt.Config, int) {
+	rng := rand.New(rand.NewSource(seed))
+	cfgs := make([]*opt.Config, 0, n+2)
+	o3 := opt.O3()
+	cfgs = append(cfgs, &o3)
+	for i := 0; i < n; i++ {
+		c := opt.Random(rng)
+		cfgs = append(cfgs, &c)
+	}
+	twin := len(cfgs) / 2
+	dup := *cfgs[twin]
+	cfgs = append(cfgs, &dup)
+	return cfgs, twin
+}
+
+// TestCompileBatchMatchesCompile is the central equivalence property:
+// for random setting sweeps over real programs, the prefix-trie walk must
+// produce binaries byte-identical to fresh per-setting compiles, and the
+// honest work counters must balance against the naive cost.
+func TestCompileBatchMatchesCompile(t *testing.T) {
+	programs := []string{"rijndael_e", "search", "qsort", "toast", "crc", "susan_c", "fft"}
+	for pi, name := range programs {
+		m := prog.MustBuild(name)
+		cfgs, twin := sweepConfigs(int64(100+pi), 24)
+		progs, errs, stats := core.CompileBatch(m, cfgs)
+		if len(progs) != len(cfgs) || len(errs) != len(cfgs) {
+			t.Fatalf("%s: %d progs / %d errs for %d cfgs", name, len(progs), len(errs), len(cfgs))
+		}
+		var naive int64
+		nonLib, lib := 0, 0
+		for _, f := range m.Funcs {
+			if f.Library {
+				lib++
+			} else {
+				nonLib++
+			}
+		}
+		for i, c := range cfgs {
+			if errs[i] != nil {
+				t.Fatalf("%s cfg %d: batch error: %v", name, i, errs[i])
+			}
+			want, err := core.Compile(m, c)
+			if err != nil {
+				t.Fatalf("%s cfg %d: fresh compile: %v", name, i, err)
+			}
+			if !bytes.Equal(imageBytes(progs[i]), imageBytes(want)) {
+				t.Errorf("%s cfg %d: batched binary differs from fresh compile", name, i)
+			}
+			plan := opt.PlanFor(c)
+			naive += int64(plan.Steps(nonLib, lib))
+		}
+		if got := stats.PassRuns + stats.PassRunsSaved; got != naive {
+			t.Errorf("%s: PassRuns(%d)+PassRunsSaved(%d) = %d, want naive total %d",
+				name, stats.PassRuns, stats.PassRunsSaved, got, naive)
+		}
+		if stats.PassRunsSaved <= 0 {
+			t.Errorf("%s: no pass runs saved over %d settings (PassRuns=%d)", name, len(cfgs), stats.PassRuns)
+		}
+		// The duplicated config must share its twin's binary outright.
+		if progs[len(cfgs)-1] != progs[twin] {
+			t.Errorf("%s: duplicate config did not share the compiled binary", name)
+		}
+	}
+}
+
+// TestCompileBatchLeavesSourcePristine pins the clone discipline of the
+// trie walk: neither the source module nor any cached snapshot may be
+// mutated by a later branch. Compiling the same sweep twice from the same
+// module - and a disjoint sweep in between - must keep outputs stable.
+func TestCompileBatchLeavesSourcePristine(t *testing.T) {
+	m := prog.MustBuild("crc")
+	before := m.String()
+	cfgs, _ := sweepConfigs(7, 16)
+	first, errs, _ := core.CompileBatch(m, cfgs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("cfg %d: %v", i, err)
+		}
+	}
+	firstBytes := make([][]byte, len(first))
+	for i, p := range first {
+		firstBytes[i] = imageBytes(p)
+	}
+	// An unrelated sweep over the same module.
+	func() { c2, _ := sweepConfigs(8, 16); core.CompileBatch(m, c2) }()
+	if m.String() != before {
+		t.Fatal("CompileBatch mutated the source module")
+	}
+	// Earlier outputs must not have been touched by the later walk
+	// (forked snapshots aliasing live output IR would show here).
+	again, _, _ := core.CompileBatch(m, cfgs)
+	for i := range first {
+		if !bytes.Equal(imageBytes(first[i]), firstBytes[i]) {
+			t.Errorf("cfg %d: output mutated by a later batch", i)
+		}
+		if !bytes.Equal(imageBytes(again[i]), firstBytes[i]) {
+			t.Errorf("cfg %d: batch output not reproducible", i)
+		}
+	}
+}
+
+// TestCompileBatchSharesLibraryAllocation pins the library fast path: a
+// module's library functions go through register allocation once per
+// module state, however many settings the sweep holds, and the shared
+// final IR is aliased across the assembled binaries.
+func TestCompileBatchSharesLibraryAllocation(t *testing.T) {
+	m := prog.MustBuild("qsort")
+	libIdx := -1
+	for i, f := range m.Funcs {
+		if f.Library {
+			libIdx = i
+			break
+		}
+	}
+	if libIdx < 0 {
+		t.Fatal("qsort lost its library functions")
+	}
+	// Two settings that differ only pre-allocation and share no module
+	// steps with each other would still share the library function if it
+	// is allocated per module state.
+	a, b := opt.O3(), opt.O3()
+	b.Flags[opt.FPeephole2] = !b.Flags[opt.FPeephole2]
+	progs, errs, _ := core.CompileBatch(m, []*opt.Config{&a, &b})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("cfg %d: %v", i, err)
+		}
+	}
+	if progs[0].Module.Funcs[libIdx] != progs[1].Module.Funcs[libIdx] {
+		t.Error("library function not shared between settings of one module state")
+	}
+}

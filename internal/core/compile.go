@@ -1,11 +1,15 @@
 // Package core assembles the portable optimising compiler of the paper's
 // Figure 2: the pass pipeline driven by an optimisation configuration
-// (compile.go), and the deployment path that takes a program source, one
-// profile run's performance counters and a microarchitecture description
-// and produces a binary optimised by the learned model (compiler.go).
+// (compile.go), the prefix-memoised batch engine that compiles whole
+// setting sweeps at once (batch.go), and the deployment path that takes a
+// program source, one profile run's performance counters and a
+// microarchitecture description and produces a binary optimised by the
+// learned model (compiler.go).
 package core
 
 import (
+	"fmt"
+
 	"portcc/internal/codegen"
 	"portcc/internal/ir"
 	"portcc/internal/opt"
@@ -19,121 +23,126 @@ import (
 //
 // The pass order mirrors gcc 4.2: interprocedural (inlining) first, then
 // scalar and loop optimisation, scheduling, allocation, and post-reload
-// cleanup.
+// cleanup. The pipeline is materialised as a canonical opt.Plan and
+// interpreted step by step - the same interpreter the prefix-memoised
+// CompileBatch walks, so the two paths cannot drift.
 func Compile(src *ir.Module, cfg *opt.Config) (*codegen.Program, error) {
+	plan := opt.PlanFor(cfg)
+	return CompilePlan(src, &plan)
+}
+
+// CompilePlan compiles the module under an already-derived canonical plan,
+// linearly: module steps, then per function the optimisation sequence,
+// then allocation for every function, then post-reload cleanups.
+func CompilePlan(src *ir.Module, plan *opt.Plan) (*codegen.Program, error) {
 	m := src.Clone()
-
-	// Interprocedural passes.
-	if cfg.Flag(opt.FInlineFunctions) {
-		passes.Inline(m, passes.InlineParams{
-			MaxInsnsAuto:        cfg.Param(opt.PMaxInlineInsnsAuto),
-			LargeFunctionInsns:  cfg.Param(opt.PLargeFunctionInsns),
-			LargeFunctionGrowth: cfg.Param(opt.PLargeFunctionGrowth),
-			LargeUnitInsns:      cfg.Param(opt.PLargeUnitInsns),
-			UnitGrowth:          cfg.Param(opt.PInlineUnitGrowth),
-			CallCost:            cfg.Param(opt.PInlineCallCost),
-		})
+	for _, s := range plan.Mod {
+		applyModStep(s, m)
 	}
-	if cfg.Flag(opt.FOptimizeSiblingCalls) {
-		passes.SiblingCalls(m)
-	}
-
 	stored := passes.StoredStreams(m)
-	loadMotion := cfg.Flag(opt.FGcse) && !cfg.Flag(opt.FNoGcseLm)
-
 	for _, f := range m.Funcs {
 		if f.Library {
 			continue
 		}
-		if cfg.Flag(opt.FTreeVrp) {
-			passes.VRP(f)
+		for _, s := range plan.Fn {
+			applyFuncStep(s, f, stored)
 		}
-		// Base local CSE is always on; the two flags extend its reach.
-		passes.LocalCSE(f, cfg.Flag(opt.FCseFollowJumps), cfg.Flag(opt.FCseSkipBlocks))
-		if cfg.Flag(opt.FTreePre) {
-			passes.PRE(f)
-		}
-		if cfg.Flag(opt.FGcse) {
-			for i := 0; i < cfg.Param(opt.PMaxGcsePasses); i++ {
-				if passes.GCSE(f) == 0 {
-					break
-				}
-			}
-			if cfg.Flag(opt.FGcseLas) {
-				passes.GCSELoadAfterStore(f)
-			}
-			if cfg.Flag(opt.FGcseSm) {
-				passes.StoreMotion(f)
-			}
-		}
-		// Loop-invariant motion is always on; load motion needs gcse-lm.
-		passes.LICM(f, loadMotion, stored)
-		if cfg.Flag(opt.FUnswitchLoops) {
-			passes.Unswitch(f)
-		}
-		if cfg.Flag(opt.FStrengthReduce) {
-			passes.StrengthReduce(f)
-		}
-		if cfg.Flag(opt.FUnrollLoops) {
-			passes.Unroll(f,
-				cfg.Param(opt.PMaxUnrollTimes),
-				cfg.Param(opt.PMaxUnrolledInsns))
-		}
-		if cfg.Flag(opt.FRerunLoopOpt) {
-			passes.LICM(f, loadMotion, stored)
-		}
-		if cfg.Flag(opt.FRerunCseAfterLoop) {
-			passes.LocalCSE(f, cfg.Flag(opt.FCseFollowJumps), cfg.Flag(opt.FCseSkipBlocks))
-		}
-		if cfg.Flag(opt.FExpensiveOptimizations) {
-			passes.LocalCSE(f, true, true)
-			if cfg.Flag(opt.FGcse) {
-				passes.GCSE(f)
-			}
-		}
-		if cfg.Flag(opt.FRegmove) {
-			passes.Regmove(f)
-		}
-		if cfg.Flag(opt.FThreadJumps) {
-			passes.ThreadJumps(f)
-		}
-		passes.DeadCode(f)
-		if cfg.Flag(opt.FScheduleInsns) {
-			passes.Schedule(f,
-				!cfg.Flag(opt.FNoSchedInterblock),
-				!cfg.Flag(opt.FNoSchedSpec))
-		}
-		if cfg.Flag(opt.FReorderBlocks) {
-			passes.ReorderBlocks(f)
-		}
-		passes.Align(f, passes.AlignFlags{
-			Functions: cfg.Flag(opt.FAlignFunctions),
-			Loops:     cfg.Flag(opt.FAlignLoops),
-			Jumps:     cfg.Flag(opt.FAlignJumps),
-			Labels:    cfg.Flag(opt.FAlignLabels),
-		})
 	}
-
-	// Register allocation and post-reload passes.
+	alloc := plan.Alloc
 	for _, f := range m.Funcs {
-		regalloc.Allocate(f, f.ID, regalloc.Options{
-			CallerSaves: !f.Library && cfg.Flag(opt.FCallerSaves),
-		})
+		if f.Library {
+			applyFuncStep(opt.Step{Pass: opt.PassAlloc}, f, stored)
+		} else {
+			applyFuncStep(alloc, f, stored)
+		}
 	}
 	for _, f := range m.Funcs {
 		if f.Library {
 			continue
 		}
-		if cfg.Flag(opt.FGcseAfterReload) {
-			passes.GCSEAfterReload(f)
-		}
-		if cfg.Flag(opt.FPeephole2) {
-			passes.Peephole2(f)
-		}
-		if cfg.Flag(opt.FCrossjumping) {
-			passes.CrossJump(f)
+		for _, s := range plan.Post {
+			applyFuncStep(s, f, stored)
 		}
 	}
-
 	return codegen.Lower(m)
+}
+
+// applyModStep executes one module-level plan step in place.
+func applyModStep(s opt.Step, m *ir.Module) {
+	switch s.Pass {
+	case opt.PassInline:
+		passes.Inline(m, passes.InlineParams{
+			MaxInsnsAuto:        int(s.Args[0]),
+			LargeFunctionInsns:  int(s.Args[1]),
+			LargeFunctionGrowth: int(s.Args[2]),
+			LargeUnitInsns:      int(s.Args[3]),
+			UnitGrowth:          int(s.Args[4]),
+			CallCost:            int(s.Args[5]),
+		})
+	case opt.PassSibling:
+		passes.SiblingCalls(m)
+	default:
+		panic(fmt.Sprintf("core: %v is not a module step", s.Pass))
+	}
+}
+
+// applyFuncStep executes one per-function plan step in place. stored is
+// the module-wide stored-streams analysis computed after the module steps
+// (read-only, shared by every function and every trie fork).
+func applyFuncStep(s opt.Step, f *ir.Func, stored map[int32]bool) {
+	switch s.Pass {
+	case opt.PassVRP:
+		passes.VRP(f)
+	case opt.PassLocalCSE:
+		passes.LocalCSE(f, s.Args[0] != 0, s.Args[1] != 0)
+	case opt.PassPRE:
+		passes.PRE(f)
+	case opt.PassGCSE:
+		for i := int32(0); i < s.Args[0]; i++ {
+			if passes.GCSE(f) == 0 {
+				break
+			}
+		}
+	case opt.PassGCSELas:
+		passes.GCSELoadAfterStore(f)
+	case opt.PassStoreMotion:
+		passes.StoreMotion(f)
+	case opt.PassLICM:
+		passes.LICM(f, s.Args[0] != 0, stored)
+	case opt.PassUnswitch:
+		passes.Unswitch(f)
+	case opt.PassStrengthReduce:
+		passes.StrengthReduce(f)
+	case opt.PassUnroll:
+		passes.Unroll(f, int(s.Args[0]), int(s.Args[1]))
+	case opt.PassRegmove:
+		passes.Regmove(f)
+	case opt.PassThreadJumps:
+		passes.ThreadJumps(f)
+	case opt.PassDeadCode:
+		passes.DeadCode(f)
+	case opt.PassSchedule:
+		passes.Schedule(f, s.Args[0] != 0, s.Args[1] != 0)
+	case opt.PassReorderBlocks:
+		passes.ReorderBlocks(f)
+	case opt.PassAlign:
+		passes.Align(f, passes.AlignFlags{
+			Functions: s.Args[0] != 0,
+			Loops:     s.Args[1] != 0,
+			Jumps:     s.Args[2] != 0,
+			Labels:    s.Args[3] != 0,
+		})
+	case opt.PassAlloc:
+		regalloc.Allocate(f, f.ID, regalloc.Options{
+			CallerSaves: !f.Library && s.Args[0] != 0,
+		})
+	case opt.PassGCSEReload:
+		passes.GCSEAfterReload(f)
+	case opt.PassPeephole2:
+		passes.Peephole2(f)
+	case opt.PassCrossJump:
+		passes.CrossJump(f)
+	default:
+		panic(fmt.Sprintf("core: %v is not a function step", s.Pass))
+	}
 }

@@ -73,6 +73,76 @@ type bitset []uint64
 
 func newBitset() bitset { return make(bitset, blockWords) }
 
+// simScratch recycles the batch engine's per-call working state. A
+// generation sweep calls SimulateBatchWith once per compiled trace with
+// the identical architecture sample, so the setup allocates the same
+// sequence of arrays every time; replaying that sequence from a pooled
+// arena (zeroing in place of allocating) keeps the engine allocation-flat
+// like the cache/bpred pools keep Simulate. A call whose sequence differs
+// (another arch batch, a fuzzed geometry set) just re-sizes the mismatched
+// slots and converges.
+type simScratch struct {
+	st  []batchState
+	u64 slots[uint64]
+	u32 slots[uint32]
+	u8  slots[uint8]
+}
+
+var simScratchPool = sync.Pool{New: func() any { return new(simScratch) }}
+
+func getSimScratch() *simScratch {
+	sc := simScratchPool.Get().(*simScratch)
+	sc.u64.i, sc.u32.i, sc.u8.i = 0, 0, 0
+	return sc
+}
+
+func putSimScratch(sc *simScratch) { simScratchPool.Put(sc) }
+
+// stateBuf returns a zeroed per-configuration state array.
+func (sc *simScratch) stateBuf(n int) []batchState {
+	if cap(sc.st) < n {
+		sc.st = make([]batchState, n)
+	}
+	st := sc.st[:n]
+	clear(st)
+	return st
+}
+
+// slots replays one element type's allocation sequence: the i-th get of
+// a call reuses the i-th slot of the previous call, resizing a slot
+// whose capacity no longer fits.
+type slots[T any] struct {
+	bufs [][]T
+	i    int
+}
+
+// get replays one allocation; zero clears the reused buffer (callers
+// that fully overwrite or append from zero length skip the clear; fresh
+// allocations are zero already).
+func (s *slots[T]) get(n int, zero bool) []T {
+	var b []T
+	if s.i < len(s.bufs) {
+		b = s.bufs[s.i]
+		if cap(b) < n {
+			b = make([]T, n)
+			s.bufs[s.i] = b
+			zero = false
+		}
+		b = b[:n]
+		if zero {
+			clear(b)
+		}
+	} else {
+		b = make([]T, n)
+		s.bufs = append(s.bufs, b)
+	}
+	s.i++
+	return b
+}
+
+// bitset returns a zeroed per-block bit vector from the arena.
+func (sc *simScratch) bitset() bitset { return bitset(sc.u64.get(blockWords, true)) }
+
 func (b bitset) set(i int)      { b[i>>6] |= 1 << (i & 63) }
 func (b bitset) get(i int) bool { return b[i>>6]>>(i&63)&1 != 0 }
 
@@ -127,13 +197,14 @@ func (s *lruStack) member(assoc int) *cacheMember {
 	return m
 }
 
-// finalize sorts members and sizes the tag store once all are registered.
-func (s *lruStack) finalize() {
+// finalize sorts members and sizes the tag store once all are registered;
+// the backing arrays come zeroed from the call's scratch arena.
+func (s *lruStack) finalize(sc *simScratch) {
 	sort.Slice(s.members, func(a, b int) bool { return s.members[a].assoc < s.members[b].assoc })
 	s.depth = s.members[len(s.members)-1].assoc
-	s.lines = make([]uint32, (int(s.setMask)+1)*s.depth)
-	s.head = make([]uint8, int(s.setMask)+1)
-	s.fill = make([]uint8, int(s.setMask)+1)
+	s.lines = sc.u32.get((int(s.setMask)+1)*s.depth, true)
+	s.head = sc.u8.get(int(s.setMask)+1, true)
+	s.fill = sc.u8.get(int(s.setMask)+1, true)
 	s.lastLine = ^uint32(0)
 }
 
@@ -448,7 +519,9 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 	if len(cfgs) == 0 {
 		return nil
 	}
-	states := make([]batchState, len(cfgs))
+	sc := getSimScratch()
+	defer putSimScratch(sc)
+	states := sc.stateBuf(len(cfgs))
 
 	// Shared state, deduplicated by geometry.
 	icIndex := map[icKey]int{}
@@ -492,11 +565,11 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 			sets := cfg.BTBSize / cfg.BTBAssoc
 			bi = len(btbs)
 			btbs = append(btbs, btbGroup{
-				entries: make([]uint64, cfg.BTBSize),
+				entries: sc.u64.get(cfg.BTBSize, true),
 				assoc:   cfg.BTBAssoc,
 				setMask: uint32(sets - 1),
 				setBits: log2u32(uint32(sets)),
-				dev:     newBitset(),
+				dev:     sc.bitset(),
 			})
 			btbIndex[bk] = bi
 		}
@@ -507,7 +580,7 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 		if !ok {
 			li = len(lineTracks)
 			lineTracks = append(lineTracks, lineTrack{
-				blockLg: iBlk, prevLine: ^uint32(0), changed: newBitset(),
+				blockLg: iBlk, prevLine: ^uint32(0), changed: sc.bitset(),
 			})
 			lineIndex[iBlk] = li
 		}
@@ -517,7 +590,7 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 			ii = len(ics)
 			ics = append(ics, icStream{
 				btbIdx: bi, lineIdx: li, redirCarry: true,
-				redirBits: newBitset(), accBits: newBitset(),
+				redirBits: sc.bitset(), accBits: sc.bitset(),
 			})
 			icIndex[ik] = ii
 		}
@@ -555,10 +628,10 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 		}
 	}
 	for _, s := range icStacks {
-		s.stack.finalize()
+		s.stack.finalize(sc)
 	}
 	for _, s := range dcs {
-		s.finalize()
+		s.finalize(sc)
 	}
 	// Per-event outcome bitsets exist only where a multi-issue
 	// configuration will read them back; everyone else keeps counters
@@ -567,12 +640,12 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 	for _, st := range wide {
 		for _, m := range []*cacheMember{st.icm, st.dcm} {
 			if m.missBits == nil {
-				m.missBits = newBitset()
+				m.missBits = sc.bitset()
 				wideMembers = append(wideMembers, m)
 			}
 		}
 		if btbs[st.btbIdx].mispredBits == nil {
-			btbs[st.btbIdx].mispredBits = newBitset()
+			btbs[st.btbIdx].mispredBits = sc.bitset()
 		}
 	}
 	// Dependency-stall histogram for the single-issue closed form:
@@ -582,7 +655,7 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 	// fs cycles. Width 1 makes both quantities configuration-independent.
 	var hist []uint64
 	if maxDl1 > 0 {
-		hist = make([]uint64, (maxDl1+1)*fsDim)
+		hist = sc.u64.get((maxDl1+1)*fsDim, true)
 	}
 
 	// baseRedir marks positions raising the geometry-independent pending
@@ -590,10 +663,10 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 	// branch and memory events as address | position<<32 | flag<<63 so the
 	// geometry sweeps read one dense, prefetchable word per event instead
 	// of gathering from the event array.
-	baseRedir := newBitset()
-	condList := make([]uint64, 0, blockEvents)
-	memList := make([]uint64, 0, blockEvents)
-	pcList := make([]uint32, 0, blockEvents)
+	baseRedir := sc.bitset()
+	condList := sc.u64.get(blockEvents, false)[:0]
+	memList := sc.u64.get(blockEvents, false)[:0]
+	pcList := sc.u32.get(blockEvents, false)[:0]
 	var memOps, branches uint64
 	var opCount [256]uint64
 

@@ -84,10 +84,11 @@ type moduleEntry struct {
 }
 
 type probeEntry struct {
-	once sync.Once
-	runs int
-	prog *codegen.Program
-	err  error
+	once   sync.Once
+	runs   int
+	perRun int // dynamic instructions of one complete -O3 run
+	prog   *codegen.Program
+	err    error
 }
 
 // NewSharedBase builds an empty base for a pool of evaluators.
@@ -127,7 +128,7 @@ func (b *SharedBase) runsFor(name string, m *ir.Module, cfg EvalConfig) (int, *c
 			return
 		}
 		probe := trace.Generate(p, trace.Config{Runs: 1, MaxInsns: cfg.MaxInsns, Seed: cfg.Seed})
-		en.runs, en.prog = deriveRuns(probe, cfg), p
+		en.runs, en.perRun, en.prog = deriveRuns(probe, cfg), probe.Insns(), p
 	})
 	return en.runs, en.prog, en.err
 }
@@ -161,12 +162,15 @@ type Evaluator struct {
 	mu      sync.Mutex
 	modules map[string]*ir.Module
 	runs    map[string]int // complete runs per trace, fixed per program
+	perRuns map[string]int // -O3 probe length per program (sizing hint)
 	traces  map[string]*cachedTrace
-	order   []string // LRU order of trace cache keys
+	order   []string // LRU order of trace cache keys (front = coldest)
 	bytes   int64    // approximate resident bytes of cached traces
 	// Compiles and Simulations count work done (for reporting).
 	Compiles    int
 	Simulations int
+	// Batched-path counters (see Stats).
+	passRuns, passRunsSaved, traceReuses int64
 }
 
 type cachedTrace struct {
@@ -192,16 +196,42 @@ func NewEvaluatorWith(cfg EvalConfig, base *SharedBase) *Evaluator {
 		base:    base,
 		modules: map[string]*ir.Module{},
 		runs:    map[string]int{},
+		perRuns: map[string]int{},
 		traces:  map[string]*cachedTrace{},
 	}
 }
 
-// Stats returns the work counters (compiles and simulations so far) under
-// the evaluator's lock, safe against concurrent use.
-func (e *Evaluator) Stats() (compiles, simulations int) {
+// Stats is the evaluator's work ledger, counting work actually
+// performed. Compiles counts per-setting compilations (a batched window
+// that is evicted and later rebuilt recompiles, and recounts); PassRuns
+// counts pipeline pass applications executed and PassRunsSaved the
+// applications the batched engine's prefix trie avoided, so for every
+// performed batch PassRuns+PassRunsSaved is what a naive pipeline would
+// have run for it. TraceReuses counts settings whose trace generation
+// (and replay) was skipped because an earlier setting of the same sweep
+// produced a byte-identical binary - each such setting once, however
+// many cells it spans.
+type Stats struct {
+	Compiles    int
+	Simulations int
+
+	PassRuns      int64
+	PassRunsSaved int64
+	TraceReuses   int64
+}
+
+// Stats returns the work counters under the evaluator's lock, safe
+// against concurrent use.
+func (e *Evaluator) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.Compiles, e.Simulations
+	return Stats{
+		Compiles:      e.Compiles,
+		Simulations:   e.Simulations,
+		PassRuns:      e.passRuns,
+		PassRunsSaved: e.passRunsSaved,
+		TraceReuses:   e.traceReuses,
+	}
 }
 
 // module returns the pristine IR of a program, building it on first use
@@ -248,9 +278,11 @@ func (e *Evaluator) runsFor(name string, m *ir.Module) (int, *codegen.Program, *
 		return 0, nil, nil, err
 	}
 	e.Compiles++
+	e.passRuns += planSteps(&o3, m)
 	probe := trace.Generate(p, trace.Config{Runs: 1, MaxInsns: e.cfg.MaxInsns, Seed: e.cfg.Seed})
 	r := deriveRuns(probe, e.cfg)
 	e.runs[name] = r
+	e.perRuns[name] = probe.Insns()
 	return r, p, probe, nil
 }
 
@@ -270,13 +302,17 @@ func (e *Evaluator) baseRunsFor(name string, m *ir.Module) (int, *codegen.Progra
 	if err != nil {
 		return 0, nil, nil, err
 	}
+	e.runs[name] = r
+	e.base.mu.Lock()
+	e.perRuns[name] = e.base.probes[name].perRun
+	e.base.mu.Unlock()
 	return r, p, nil, nil
 }
 
-// insertTrace caches a compiled trace under key, evicting in FIFO order.
-// With a CacheBudget the bound is approximate bytes (the newest entry is
-// always kept); otherwise it is the fixed traceCacheSize entry count.
-// Called with e.mu held.
+// insertTrace caches a compiled trace under key, evicting in LRU order
+// (touchTrace refreshes entries on hit). With a CacheBudget the bound is
+// approximate bytes (the newest entry is always kept); otherwise it is
+// the fixed traceCacheSize entry count. Called with e.mu held.
 func (e *Evaluator) insertTrace(key string, tr *trace.Trace, p *codegen.Program) {
 	if _, ok := e.traces[key]; ok {
 		return
@@ -298,11 +334,26 @@ func (e *Evaluator) insertTrace(key string, tr *trace.Trace, p *codegen.Program)
 	}
 }
 
+// touchTrace moves a hit key to the warm end of the LRU order, so a hot
+// entry (typically the -O3 baseline every speedup divides by) survives an
+// insert-heavy sweep that would evict it under insertion order. Called
+// with e.mu held.
+func (e *Evaluator) touchTrace(key string) {
+	for i, k := range e.order {
+		if k == key {
+			copy(e.order[i:], e.order[i+1:])
+			e.order[len(e.order)-1] = key
+			return
+		}
+	}
+}
+
 // Trace returns the dynamic trace of the program compiled under c, cached.
 func (e *Evaluator) Trace(name string, c *opt.Config) (*trace.Trace, *codegen.Program, error) {
 	key := name + "/" + c.Key()
 	e.mu.Lock()
 	if ct, ok := e.traces[key]; ok {
+		e.touchTrace(key)
 		e.mu.Unlock()
 		return ct.tr, ct.prog, nil
 	}
@@ -352,9 +403,132 @@ func (e *Evaluator) Trace(name string, c *opt.Config) (*trace.Trace, *codegen.Pr
 
 	e.mu.Lock()
 	e.Compiles++
+	e.passRuns += planSteps(c, m)
 	e.insertTrace(key, tr, p)
 	e.mu.Unlock()
 	return tr, p, nil
+}
+
+// planSteps is the pass-application count of a linear compile of c over
+// m, the unit both Stats paths count in.
+func planSteps(c *opt.Config, m *ir.Module) int64 {
+	nonLib, lib := 0, 0
+	for _, f := range m.Funcs {
+		if f.Library {
+			lib++
+		} else {
+			nonLib++
+		}
+	}
+	plan := opt.PlanFor(c)
+	return int64(plan.Steps(nonLib, lib))
+}
+
+// BatchBinary is one setting's slot in a CompileBatch result. Settings
+// whose pipelines produced byte-identical binaries share a fingerprint:
+// the first such slot has First pointing at itself; twins carry the
+// owning slot's index, so consumers generate one trace (and one replay)
+// per distinct binary. Err is the per-setting compile failure, nil
+// otherwise.
+type BatchBinary struct {
+	Prog  *codegen.Program
+	FP    codegen.Fingerprint
+	First int
+	Err   error
+}
+
+// TraceBatch compiles every setting of a sweep over one program through
+// the prefix-memoised batch engine (core.CompileBatch) and fingerprints
+// the binaries so byte-identical twins are visible to the caller. A
+// non-nil top-level error (module build or -O3 probe failure) fails
+// every setting alike. Traces are generated separately (GenerateTrace,
+// typically lazily per distinct binary) so a caller serving only part
+// of the sweep never holds more than its in-flight traces.
+func (e *Evaluator) TraceBatch(name string, cfgs []*opt.Config) ([]BatchBinary, error) {
+	e.mu.Lock()
+	m, err := e.module(name)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	if _, _, _, err := e.runsFor(name, m); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	e.mu.Unlock()
+
+	progs, errs, stats := core.CompileBatch(m, cfgs)
+	out := make([]BatchBinary, len(cfgs))
+	index := make(map[codegen.Fingerprint]int, len(cfgs))
+	scratch := make([]byte, 0, 1<<16)
+	compiled := 0
+	for i := range cfgs {
+		if errs[i] != nil {
+			out[i] = BatchBinary{First: i, Err: errs[i]}
+			continue
+		}
+		compiled++
+		var fp codegen.Fingerprint
+		fp, scratch = codegen.FingerprintInto(progs[i], scratch)
+		if j, ok := index[fp]; ok {
+			out[i] = BatchBinary{Prog: progs[i], FP: fp, First: j}
+			continue
+		}
+		index[fp] = i
+		out[i] = BatchBinary{Prog: progs[i], FP: fp, First: i}
+	}
+
+	e.mu.Lock()
+	// Like the naive Trace path, Compiles counts successful per-setting
+	// compilations only, so the two paths stay comparable.
+	e.Compiles += compiled
+	e.passRuns += stats.PassRuns
+	e.passRunsSaved += stats.PassRunsSaved
+	e.mu.Unlock()
+	return out, nil
+}
+
+// GenerateTrace generates the trace of an already-compiled binary of the
+// named program into a pooled buffer sized from the -O3 probe, so
+// steady-state generation runs without append doublings in one
+// allocation. The run count is established through the evaluator's
+// probe path (deduplicated across a pool by the shared base), so every
+// worker slot derives the identical trace. The caller owns the trace
+// and must return it with trace.Put when done (it is never inserted
+// into the evaluator's cache).
+func (e *Evaluator) GenerateTrace(name string, p *codegen.Program) (*trace.Trace, error) {
+	e.mu.Lock()
+	m, err := e.module(name)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	runs, _, _, err := e.runsFor(name, m)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	perRun := e.perRuns[name]
+	cfg := e.cfg
+	e.mu.Unlock()
+	if runs < 1 {
+		runs = 1
+	}
+	capHint := runs*perRun + perRun/2 + 256
+	if max := cfg.MaxInsns + 64; capHint > max {
+		capHint = max
+	}
+	tr := trace.Get(capHint)
+	return trace.GenerateInto(tr, p, trace.Config{Runs: runs, MaxInsns: cfg.MaxInsns, Seed: cfg.Seed}), nil
+}
+
+// addTraceReuses records settings whose trace generation (and replay)
+// was skipped because an earlier setting produced a byte-identical
+// binary.
+func (e *Evaluator) addTraceReuses(n int64) {
+	e.mu.Lock()
+	e.traceReuses += n
+	e.mu.Unlock()
 }
 
 // SimulateBatch replays an already-generated trace on every architecture

@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"portcc/internal/opt"
+)
+
+// TestTraceCacheLRUKeepsHotEntry pins the eviction policy: the order is
+// LRU, refreshed on every Trace hit, so a hot entry (the -O3 baseline
+// here) survives an insert-heavy sweep under a cache budget tight enough
+// that insertion-order (FIFO) eviction would throw it out every round
+// and recompile it.
+func TestTraceCacheLRUKeepsHotEntry(t *testing.T) {
+	o3 := opt.O3()
+	// Calibrate the budget to the program's real trace size: room for
+	// about three entries, so every sweep insert forces an eviction
+	// while a refreshed hot entry still fits.
+	probe := NewEvaluator(EvalConfig{TargetInsns: 4_000, Seed: 1})
+	tr, _, err := probe.Trace("crc", &o3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(EvalConfig{TargetInsns: 4_000, Seed: 1, CacheBudget: 3 * traceBytes(tr)})
+	if _, _, err := ev.Trace("crc", &o3); err != nil {
+		t.Fatal(err)
+	}
+	base := ev.Stats().Compiles
+
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 8; i++ {
+		cfg := opt.Random(rng)
+		if _, _, err := ev.Trace("crc", &cfg); err != nil {
+			t.Fatal(err)
+		}
+		// The hot entry: under LRU this hit refreshes it past the insert
+		// above; under FIFO it would age out and recompile.
+		before := ev.Stats().Compiles
+		if _, _, err := ev.Trace("crc", &o3); err != nil {
+			t.Fatal(err)
+		}
+		if got := ev.Stats().Compiles; got != before {
+			t.Fatalf("round %d: -O3 trace was evicted and recompiled (compiles %d -> %d)", i, before, got)
+		}
+	}
+	if got, want := ev.Stats().Compiles, base+8; got != want {
+		t.Fatalf("compiles = %d, want %d (one per fresh setting only)", got, want)
+	}
+}

@@ -42,6 +42,14 @@ type ExploreRequest struct {
 	ArchBatch int
 	// Eval carries the workload-scaling parameters for the evaluators.
 	Eval EvalConfig
+	// Naive disables the prefix-memoised batched compile path: every
+	// cell compiles, traces and replays its own setting independently,
+	// as before the batch engine existed. The produced results (and any
+	// saved dataset) are bit-identical either way; the naive path exists
+	// for equivalence checks and as the benchmark baseline. The field
+	// rides to worker shards with the request, so a sharded run honours
+	// it on every daemon.
+	Naive bool
 }
 
 // Validate checks the request against the benchmark suite and the legal
@@ -119,6 +127,8 @@ type ExploreOptions struct {
 	// Cells from a dead shard requeue onto the survivors; the merged
 	// stream is bit-identical to a local run of the same request.
 	Shards []string
+	// Naive forces the per-cell compile path (see ExploreRequest.Naive).
+	Naive bool
 }
 
 // executor picks the scheduling backend the options describe.
@@ -189,23 +199,52 @@ func runCell(ev *Evaluator, req *ExploreRequest, c exploreCell) (ExploreResult, 
 // (cmd/portccd) plug into the scheduler. Each worker slot gets a private
 // evaluator (its own trace cache), all sharing one pool base so a
 // program's cells spread over many slots build each module and compile
-// each -O3 probe once, not once per slot. slots bounds the slot space:
-// callers must derive it with sched.Workers so it matches the pool's
-// slot contract. The request must already be validated.
+// each -O3 probe once, not once per slot. Unless the request asks for
+// the naive path, the slots additionally share a sweep state that
+// batch-compiles each program's settings in windows (prefix-memoised)
+// and deduplicates trace generation and replay across settings whose
+// binaries came out byte-identical. slots bounds the slot space: callers
+// must derive it with sched.Workers so it matches the pool's slot
+// contract. The request must already be validated.
 func (r *ExploreRequest) Runner(slots int) func(slot, index int) (any, error) {
+	run, _ := r.runner(slots)
+	return run
+}
+
+// InstrumentedRunner is Runner with one worker slot, returning the slot's
+// evaluator alongside so a caller driving the grid itself can read the
+// work counters (Stats) afterwards - the benchmark harness uses it to
+// report pass runs saved without a profiler.
+func (r *ExploreRequest) InstrumentedRunner() (func(slot, index int) (any, error), *Evaluator) {
+	run, evs := r.runner(1)
+	evs[0] = NewEvaluatorWith(r.Eval, nil)
+	return run, evs[0]
+}
+
+func (r *ExploreRequest) runner(slots int) (func(slot, index int) (any, error), []*Evaluator) {
 	cells := r.cells()
 	base := NewSharedBase()
 	evs := make([]*Evaluator, slots)
+	var sw *sweepState
+	if !r.Naive {
+		sw = newSweepState(r, slots)
+	}
 	return func(slot, index int) (any, error) {
 		if evs[slot] == nil {
 			evs[slot] = NewEvaluatorWith(r.Eval, base)
 		}
-		res, err := runCell(evs[slot], r, cells[index])
+		var res ExploreResult
+		var err error
+		if sw != nil {
+			res, err = runCellBatched(evs[slot], sw, cells[index])
+		} else {
+			res, err = runCell(evs[slot], r, cells[index])
+		}
 		if err != nil {
 			return nil, err
 		}
 		return res, nil
-	}
+	}, evs
 }
 
 // ServeConfig returns the scheduler serve configuration of an
@@ -257,6 +296,9 @@ func ServeConfig(workers int, heartbeat time.Duration) sched.ServeConfig {
 //     before the iterator returns.
 func Explore(ctx context.Context, req ExploreRequest, o ExploreOptions) iter.Seq2[ExploreResult, error] {
 	return func(yield func(ExploreResult, error) bool) {
+		if o.Naive {
+			req.Naive = true
+		}
 		if err := req.Validate(); err != nil {
 			yield(ExploreResult{}, err)
 			return

@@ -29,7 +29,12 @@ type Remote struct {
 	Addrs []string
 	// ChunkSize caps the cells assigned to a shard per round trip
 	// (default 8): larger chunks amortise the round trip and feed the
-	// shard's pool, smaller ones lose less work when a shard dies.
+	// shard's pool, smaller ones lose less work when a shard dies. The
+	// cap applies mid-run; near the tail of the grid the dispenser
+	// adaptively shrinks assignments toward single cells (see
+	// adaptChunk), so a shard dying at the tail loses less work and the
+	// last cells spread across every live shard instead of queueing
+	// behind one.
 	ChunkSize int
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
@@ -261,9 +266,30 @@ func (st *remoteState) wake() {
 	st.mu.Unlock()
 }
 
+// adaptChunk sizes one assignment: the full chunk while plenty of work
+// remains, shrinking toward 1 as the unresolved-cell count approaches
+// what the live shards hold in flight (live x chunk). At the tail this
+// cuts both the work a dying shard strands and the tail latency - the
+// final cells fan out one by one across every live shard instead of
+// riding a single last chunk.
+func adaptChunk(chunk, remaining, live int) int {
+	if live < 1 {
+		live = 1
+	}
+	c := remaining / (2 * live)
+	if c >= chunk {
+		return chunk
+	}
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
 // take blocks until cells are available (requeues from dead shards
-// included) and returns up to n of the lowest pending indices, or nil
-// when the grid is finished, the run is aborted, or ctx is cancelled.
+// included) and returns up to n of the lowest pending indices - fewer
+// near the tail, where adaptChunk shrinks assignments - or nil when the
+// grid is finished, the run is aborted, or ctx is cancelled.
 func (st *remoteState) take(ctx context.Context, n int) []int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -272,6 +298,7 @@ func (st *remoteState) take(ctx context.Context, n int) []int {
 			return nil
 		}
 		if len(st.pending) > 0 {
+			n = adaptChunk(n, st.unresolved, st.live)
 			if n > len(st.pending) {
 				n = len(st.pending)
 			}

@@ -55,3 +55,110 @@ func TestRemoteRequiresAddrs(t *testing.T) {
 		t.Errorf("got %v, want ErrInvalidConfig", err)
 	}
 }
+
+// TestAdaptChunkShrinksTowardTail pins the adaptive assignment size: full
+// chunks mid-run, shrinking monotonically toward single cells as the
+// remaining work approaches what the live shards hold in flight.
+func TestAdaptChunkShrinksTowardTail(t *testing.T) {
+	for _, tc := range []struct{ chunk, remaining, live, want int }{
+		{8, 1000, 2, 8}, // mid-run: full chunk
+		{8, 32, 2, 8},   // exactly 2*live*chunk: still full
+		{8, 16, 2, 4},   // shards*chunk remaining: halved
+		{8, 8, 2, 2},    // deep tail
+		{8, 3, 2, 1},    // final cells go one by one
+		{8, 1, 2, 1},
+		{8, 16, 1, 8}, // one live shard: no reason to shrink early
+		{8, 4, 1, 2},
+		{8, 5, 0, 2}, // degenerate live count clamps to 1
+	} {
+		if got := adaptChunk(tc.chunk, tc.remaining, tc.live); got != tc.want {
+			t.Errorf("adaptChunk(%d, %d, %d) = %d, want %d", tc.chunk, tc.remaining, tc.live, got, tc.want)
+		}
+	}
+	// Monotone: a shrinking tail never grows an assignment.
+	prev := 8
+	for rem := 100; rem >= 1; rem-- {
+		got := adaptChunk(8, rem, 3)
+		if got > prev {
+			t.Fatalf("adaptChunk grew from %d to %d at remaining=%d", prev, got, rem)
+		}
+		prev = got
+	}
+}
+
+// TestTailRequeueRedistributes drives the dispenser directly through a
+// shard death at the tail: assignments shrink from full chunks to single
+// cells as the grid drains, the dead shard's cells requeue, and the
+// survivor receives them lowest-index-first in tail-sized assignments -
+// the deterministic dispatch contract, with less work stranded per death.
+func TestTailRequeueRedistributes(t *testing.T) {
+	ctx := context.Background()
+	st := newRemoteState(80, 2)
+
+	a := st.take(ctx, 8)
+	b := st.take(ctx, 8) // the doomed shard holds these until it dies
+	if len(a) != 8 || a[0] != 0 || len(b) != 8 || b[0] != 8 {
+		t.Fatalf("mid-run chunks wrong: %v / %v", a, b)
+	}
+	for range a {
+		st.complete()
+	}
+
+	// The survivor drains the pending cells; assignments shrink toward
+	// single cells as the tail approaches.
+	var sizes []int
+	next := 16
+	for {
+		cs := st.take(ctx, 8)
+		if len(cs) == 0 || cs[0] != next {
+			t.Fatalf("assignment %v, want start %d (lowest pending first)", cs, next)
+		}
+		sizes = append(sizes, len(cs))
+		next = cs[len(cs)-1] + 1
+		for range cs {
+			st.complete()
+		}
+		if next == 80 {
+			break
+		}
+	}
+	want := []int{8, 8, 8, 8, 8, 8, 6, 4, 3, 2, 1}
+	if len(sizes) != len(want) {
+		t.Fatalf("drain sizes %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("drain sizes %v, want %v", sizes, want)
+		}
+	}
+
+	// Only the doomed shard's 8 cells remain. It dies; they requeue and
+	// the survivor gets them back lowest-first in tail-sized pieces.
+	st.shardExit(b, errors.New("shard died"))
+	var tail [][]int
+	for {
+		cs := st.take(ctx, 8)
+		if cs == nil {
+			break
+		}
+		tail = append(tail, cs)
+		for range cs {
+			st.complete()
+		}
+	}
+	flat := []int{}
+	for _, cs := range tail {
+		flat = append(flat, cs...)
+	}
+	for i, c := range flat {
+		if c != 8+i {
+			t.Fatalf("requeued cells dispensed as %v, want 8..15 in order", flat)
+		}
+	}
+	if len(tail) == 0 || len(tail[0]) != 4 {
+		t.Fatalf("first post-requeue assignment %v, want 4 cells (tail-sized)", tail)
+	}
+	if st.done != 80 || st.unresolved != 0 {
+		t.Fatalf("ledger done=%d unresolved=%d, want 80/0", st.done, st.unresolved)
+	}
+}

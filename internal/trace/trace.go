@@ -9,6 +9,8 @@
 package trace
 
 import (
+	"sync"
+
 	"portcc/internal/codegen"
 	"portcc/internal/ir"
 	"portcc/internal/isa"
@@ -67,6 +69,35 @@ type Trace struct {
 
 // Insns returns the dynamic instruction count.
 func (t *Trace) Insns() int { return len(t.Events) }
+
+// Reshape resets the trace for a fresh generation run, keeping the event
+// buffer's capacity so steady-state Get/Generate/Put cycles run without
+// reallocating or zeroing the multi-megabyte event stream.
+func (t *Trace) Reshape() {
+	*t = Trace{Events: t.Events[:0]}
+}
+
+// pool recycles traces between generations; like the cache and bpred
+// pools, entries keep their largest-seen event buffer.
+var pool = sync.Pool{New: func() any { return new(Trace) }}
+
+// Get returns a reset trace from the pool, ready for GenerateInto, with
+// room for at least capHint events: generation then runs without append
+// doublings, and a pooled buffer large enough is reused as-is (never
+// zeroed - the generator only appends).
+func Get(capHint int) *Trace {
+	t := pool.Get().(*Trace)
+	t.Reshape()
+	if cap(t.Events) < capHint {
+		t.Events = make([]Event, 0, capHint)
+	}
+	return t
+}
+
+// Put returns a trace to the pool. The caller must not use it afterwards;
+// traces handed to other owners (e.g. cached in an evaluator) must not be
+// put back.
+func Put(t *Trace) { pool.Put(t) }
 
 // Config controls trace generation.
 type Config struct {
@@ -142,28 +173,51 @@ type generator struct {
 
 // Generate executes the program image and returns its trace.
 func Generate(p *codegen.Program, cfg Config) *Trace {
+	return GenerateInto(&Trace{}, p, cfg)
+}
+
+// genPool recycles generator scratch (stream cursors, trip counters, site
+// indices) between runs, so batched generation stays allocation-flat.
+var genPool = sync.Pool{New: func() any {
+	return &generator{
+		streams: make(map[int32]*streamState),
+		trips:   make(map[int64]int32),
+		sites:   make(map[int32]uint64),
+	}
+}}
+
+// GenerateInto executes the program image into dst (typically from Get,
+// reusing its event buffer) and returns it. The produced trace is
+// bit-identical to Generate's for the same program and config.
+func GenerateInto(dst *Trace, p *codegen.Program, cfg Config) *Trace {
 	if cfg.MaxInsns <= 0 {
 		cfg.MaxInsns = 100_000
 	}
-	g := &generator{
-		prog:     p,
-		seed:     splitmix(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15),
-		tr:       &Trace{Events: make([]Event, 0, cfg.MaxInsns+64)},
-		max:      cfg.MaxInsns,
-		wantRuns: cfg.Runs,
-		streams:  make(map[int32]*streamState),
-		trips:    make(map[int64]int32),
-		sites:    make(map[int32]uint64),
-	}
+	dst.Reshape()
+	g := genPool.Get().(*generator)
+	g.prog = p
+	g.seed = splitmix(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15)
+	g.tr = dst
+	g.max = cfg.MaxInsns
+	g.wantRuns = cfg.Runs
+	g.dyn = 0
+	g.callStack = g.callStack[:0]
+	clear(g.streams)
+	clear(g.trips)
+	clear(g.sites)
 	for i := range g.lastIdx {
 		g.lastIdx[i] = -1 << 60
+		g.lastLoad[i] = false
+		g.lastLat[i] = 0
 	}
 	g.run()
 	if g.wantRuns > 0 && g.tr.Runs < g.wantRuns {
 		g.tr.Truncated = true
 		g.tr.Runs++ // count the partial run so rates stay finite
 	}
-	return g.tr
+	g.prog, g.tr = nil, nil
+	genPool.Put(g)
+	return dst
 }
 
 // splitmix is the splitmix64 mixing function used to derive per-site,
@@ -303,9 +357,9 @@ func (g *generator) run() {
 
 // posOf finds the layout position of block id within the function image.
 func posOf(fi *codegen.FuncImage, id int) int {
-	for pos, bi := range fi.Blocks {
-		if bi.ID == id {
-			return pos
+	if id >= 0 && id < len(fi.ByID) {
+		if bi := fi.ByID[id]; bi != nil {
+			return bi.Pos
 		}
 	}
 	// Verified IR guarantees valid targets; reaching here is a bug.

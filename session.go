@@ -34,6 +34,7 @@ type sessionConfig struct {
 	cacheBudget int64
 	progress    func(Progress)
 	shards      []string
+	naive       bool
 }
 
 // WithWorkers bounds the worker pool used by Explore and GenerateDataset
@@ -70,6 +71,16 @@ func WithCacheBudget(bytes int64) Option {
 // exploration cell. Calls are serialised; keep the callback cheap.
 func WithProgress(fn func(Progress)) Option {
 	return func(c *sessionConfig) { c.progress = fn }
+}
+
+// WithNaiveCompile disables the prefix-memoised batched compile engine in
+// Explore and GenerateDataset: every grid cell then compiles, traces and
+// replays its own setting independently. Datasets are bit-identical
+// either way; the naive path exists as the equivalence baseline for
+// verification and benchmarking. Sharded runs forward the choice to the
+// worker daemons.
+func WithNaiveCompile() Option {
+	return func(c *sessionConfig) { c.naive = true }
 }
 
 // Session is the user-facing entry point: compile benchmarks under chosen
@@ -134,7 +145,8 @@ func (s *Session) scale() Scale {
 // evaluator has performed (Explore and GenerateDataset use per-worker
 // evaluators and are not counted here).
 func (s *Session) Stats() (compiles, simulations int) {
-	return s.ev.Stats()
+	st := s.ev.Stats()
+	return st.Compiles, st.Simulations
 }
 
 // Compile builds the named benchmark under the given optimisation setting
