@@ -10,6 +10,14 @@
 // Usage:
 //
 //	benchgen [-scale small] [-runs 3] [-out BENCH_generate.json]
+//	         [-check BENCH_generate.json [-check-slack 0.10]]
+//	         [-tiny-speedup X] [-baseline-seconds S [-baseline-comment ...]]
+//
+// With -check, the measured naive/batched speedup is gated against a
+// committed benchgen JSON (its own speedup at the same scale, or its
+// tiny_speedup reference when running at tiny scale) and the process
+// fails on a regression beyond the slack - the CI bench job's
+// machine-portable regression gate.
 package main
 
 import (
@@ -50,12 +58,33 @@ type result struct {
 	BaselineComment string  `json:"baseline_comment,omitempty"`
 	// Work counters from one batched run, summed over all worker
 	// evaluators: the pass applications executed vs the ones the prefix
-	// trie avoided, and the trace generations skipped for settings whose
-	// binaries came out byte-identical.
+	// trie avoided, the trace generations skipped for settings whose
+	// binaries came out byte-identical, and the trace generations
+	// actually performed with the dynamic instructions they emitted
+	// (trace-generator throughput changes show up here without a
+	// profiler).
 	PassRuns      int64 `json:"pass_runs"`
 	PassRunsSaved int64 `json:"pass_runs_saved"`
 	TraceReuses   int64 `json:"trace_reuses"`
+	TraceGens     int64 `json:"trace_gens"`
+	TraceEvents   int64 `json:"trace_events"`
 	Identical     bool  `json:"datasets_byte_identical"`
+	// TinySpeedup optionally records this tool's speedup measured at
+	// -scale tiny on the same machine as the main entry (-tiny-speedup),
+	// so a committed small-scale file also carries the reference the CI
+	// tiny-scale smoke gates against with -check.
+	TinySpeedup float64 `json:"tiny_speedup,omitempty"`
+}
+
+// loadResult reads a previously written benchgen JSON document.
+func loadResult(path string) (result, error) {
+	var r result
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	err = json.Unmarshal(data, &r)
+	return r, err
 }
 
 func main() {
@@ -65,6 +94,9 @@ func main() {
 	baseline := flag.Float64("baseline-seconds", 0, "externally measured previous-build Generate seconds at this scale (recorded in the report)")
 	baselineNote := flag.String("baseline-comment", "", "how the external baseline was measured")
 	counters := flag.Bool("counters", true, "report batch work counters (costs one extra untimed single-worker pass over the grid)")
+	tinySpeedup := flag.Float64("tiny-speedup", 0, "same-machine tiny-scale speedup to record alongside this entry (reference for -check)")
+	check := flag.String("check", "", "committed benchgen JSON to regression-check the measured speedup against (CI gate)")
+	checkSlack := flag.Float64("check-slack", 0.10, "fraction the speedup may fall below the -check reference before failing")
 	flag.Parse()
 
 	scale, ok := experiments.ScaleByName(*scaleName)
@@ -134,7 +166,10 @@ func main() {
 		PassRuns:      stats.PassRuns,
 		PassRunsSaved: stats.PassRunsSaved,
 		TraceReuses:   stats.TraceReuses,
+		TraceGens:     stats.TraceGens,
+		TraceEvents:   stats.TraceEvents,
 		Identical:     bytes.Equal(encode(naiveDS), encode(batchDS)),
+		TinySpeedup:   *tinySpeedup,
 	}
 	if *baseline > 0 {
 		r.BaselineSec = *baseline
@@ -143,6 +178,11 @@ func main() {
 	}
 	if !r.Identical {
 		log.Fatal("naive and batched datasets differ - refusing to write benchmark results")
+	}
+	if *check != "" {
+		if err := checkRegression(r, *check, *checkSlack); err != nil {
+			log.Fatal(err)
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -156,6 +196,40 @@ func main() {
 	f.Close()
 	fmt.Printf("speedup %.2fx; pass runs %d (+%d saved), trace reuses %d -> %s\n",
 		r.Speedup, r.PassRuns, r.PassRunsSaved, r.TraceReuses, *out)
+}
+
+// checkRegression gates the measured naive/batched speedup against a
+// committed reference entry. The speedup is a same-machine, same-run
+// ratio, so it ports across runner generations where wall-clock medians
+// do not; it guards the batching machinery (prefix-memoised compiles,
+// trace dedup, pooled buffers) - regressions confined to code both paths
+// share equally need the absolute medians or a profile. The reference is
+// the committed entry's own speedup when the scales match, or its
+// recorded tiny_speedup when this run is at tiny scale (how CI uses it
+// against the small-scale committed file).
+func checkRegression(r result, path string, slack float64) error {
+	ref, err := loadResult(path)
+	if err != nil {
+		return fmt.Errorf("-check: %w", err)
+	}
+	want := 0.0
+	switch {
+	case ref.Scale == r.Scale:
+		want = ref.Speedup
+	case r.Scale == "tiny" && ref.TinySpeedup > 0:
+		want = ref.TinySpeedup
+	}
+	if want <= 0 {
+		return fmt.Errorf("-check: %s has no reference speedup for scale %q", path, r.Scale)
+	}
+	floor := want * (1 - slack)
+	if r.Speedup < floor {
+		return fmt.Errorf("-check: speedup %.3f is below %.3f (reference %.3f from %s, slack %.0f%%)",
+			r.Speedup, floor, want, path, slack*100)
+	}
+	fmt.Printf("check ok: speedup %.3f >= %.3f (reference %.3f, slack %.0f%%)\n",
+		r.Speedup, floor, want, slack*100)
+	return nil
 }
 
 // measureCounters runs the batched grid on a single-slot runner and

@@ -28,6 +28,24 @@ type Program struct {
 	TotalBytes int
 	// PadBytes is the portion of TotalBytes that is alignment padding.
 	PadBytes int
+
+	// Dense cursor-index spaces, assigned at image-build time so the
+	// trace generator's per-event state lookups are flat slice indexing
+	// instead of map probes (see internal/trace):
+	//
+	// ByFuncID maps IR function ID to its image (call-target lookup).
+	ByFuncID []*FuncImage
+	// NumStreams counts the distinct address streams referenced by the
+	// image's memory instructions; BlockImage.StreamSlot indexes them.
+	NumStreams int
+	// NumLatchSlots counts counted-loop latch branches (one trip counter
+	// each); BlockImage.LatchSlot indexes them.
+	NumLatchSlots int
+	// NumSiteSlots counts distinct probabilistic branch sites that keep
+	// a per-execution counter; BlockImage.SiteSlot indexes them. Blocks
+	// duplicated from one source site (inlining, unrolling) share a slot,
+	// exactly as they shared a counter key.
+	NumSiteSlots int
 }
 
 // FuncImage is a placed function.
@@ -71,25 +89,64 @@ type BlockImage struct {
 	// Bytes is the total size of the block including control insns,
 	// excluding padding.
 	Bytes int
+
+	// Trace-generator cursor slots (see Program): LatchSlot is the dense
+	// trip-counter index of a counted-latch branch, SiteSlot the dense
+	// outcome-counter index of a probabilistic branch site; -1 when the
+	// terminator keeps no such counter. StreamSlot parallels Insns with
+	// the dense address-stream index of each memory instruction (-1 for
+	// non-memory instructions and deterministic frame-slot accesses).
+	LatchSlot  int32
+	SiteSlot   int32
+	StreamSlot []int32
 }
 
 // End returns the address just past the block's last instruction.
 func (b *BlockImage) End() uint32 { return b.Addr + uint32(b.Bytes) }
+
+// slotAlloc hands out the image's dense cursor indices in first-appearance
+// order - a pure function of the placed instruction stream, so equal
+// images (equal fingerprints) always carry equal slot assignments.
+type slotAlloc struct {
+	streams map[int32]int32
+	sites   map[int32]int32
+	latches int32
+}
+
+func (a *slotAlloc) stream(id int32) int32 {
+	if s, ok := a.streams[id]; ok {
+		return s
+	}
+	s := int32(len(a.streams))
+	a.streams[id] = s
+	return s
+}
+
+func (a *slotAlloc) site(id int32) int32 {
+	if s, ok := a.sites[id]; ok {
+		return s
+	}
+	s := int32(len(a.sites))
+	a.sites[id] = s
+	return s
+}
 
 // Lower places every function of the module and returns the image.
 // Functions are placed in module order starting at CodeBase; blocks follow
 // each function's Layout (natural order when nil).
 func Lower(m *ir.Module) (*Program, error) {
 	p := &Program{Module: m}
+	alloc := &slotAlloc{streams: map[int32]int32{}, sites: map[int32]int32{}}
 	addr := CodeBase
 	totalPad := 0
+	maxID := -1
 	for _, f := range m.Funcs {
 		if f.Align > 0 {
 			pad := padTo(addr, uint32(f.Align))
 			addr += pad
 			totalPad += int(pad)
 		}
-		fi, err := lowerFunc(f, addr)
+		fi, err := lowerFunc(f, addr, alloc)
 		if err != nil {
 			return nil, err
 		}
@@ -97,10 +154,20 @@ func Lower(m *ir.Module) (*Program, error) {
 			totalPad += bi.Pad
 		}
 		p.Funcs = append(p.Funcs, fi)
+		if fi.ID > maxID {
+			maxID = fi.ID
+		}
 		addr += uint32(fi.Bytes)
 	}
 	p.TotalBytes = int(addr - CodeBase)
 	p.PadBytes = totalPad
+	p.ByFuncID = make([]*FuncImage, maxID+1)
+	for _, fi := range p.Funcs {
+		p.ByFuncID[fi.ID] = fi
+	}
+	p.NumStreams = len(alloc.streams)
+	p.NumLatchSlots = int(alloc.latches)
+	p.NumSiteSlots = len(alloc.sites)
 	return p, nil
 }
 
@@ -115,7 +182,7 @@ func padTo(addr, align uint32) uint32 {
 	return align - rem
 }
 
-func lowerFunc(f *ir.Func, base uint32) (*FuncImage, error) {
+func lowerFunc(f *ir.Func, base uint32, alloc *slotAlloc) (*FuncImage, error) {
 	layout := f.Layout
 	if layout == nil {
 		layout = make([]int, len(f.Blocks))
@@ -144,7 +211,28 @@ func lowerFunc(f *ir.Func, base uint32) (*FuncImage, error) {
 		b := f.Blocks[id]
 		pad := padTo(addr, uint32(b.Align))
 		addr += pad
-		bi := &BlockImage{ID: id, Pos: pos, Addr: addr, Pad: int(pad), Insns: b.Insns, Term: b.Term}
+		bi := &BlockImage{ID: id, Pos: pos, Addr: addr, Pad: int(pad), Insns: b.Insns, Term: b.Term,
+			LatchSlot: -1, SiteSlot: -1}
+		if len(b.Insns) > 0 {
+			bi.StreamSlot = make([]int32, len(b.Insns))
+			for i := range b.Insns {
+				in := &b.Insns[i]
+				bi.StreamSlot[i] = -1
+				if in.Op.IsMem() &&
+					!in.HasFlag(ir.FlagSpill) && !in.HasFlag(ir.FlagSave) && !in.HasFlag(ir.FlagPrologue) {
+					bi.StreamSlot[i] = alloc.stream(in.Mem.Stream)
+				}
+			}
+		}
+		if b.Term.Kind == ir.TermBranch {
+			switch t := b.Term; {
+			case t.Trip > 0:
+				bi.LatchSlot = alloc.latches
+				alloc.latches++
+			case t.Prob > 0 && t.Prob < 1 && t.InvariantIn <= 0:
+				bi.SiteSlot = alloc.site(t.Site)
+			}
+		}
 		next := -1
 		if pos+1 < len(layout) {
 			next = layout[pos+1]
@@ -193,12 +281,12 @@ func lowerFunc(f *ir.Func, base uint32) (*FuncImage, error) {
 	return fi, nil
 }
 
-// FuncOf returns the function image with the given IR function index.
+// FuncOf returns the function image with the given IR function index -
+// a flat lookup, since the trace generator resolves every dynamic call
+// through it.
 func (p *Program) FuncOf(id int) *FuncImage {
-	for _, fi := range p.Funcs {
-		if fi.ID == id {
-			return fi
-		}
+	if id >= 0 && id < len(p.ByFuncID) {
+		return p.ByFuncID[id]
 	}
 	return nil
 }

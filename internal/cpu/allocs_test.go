@@ -26,3 +26,24 @@ func TestSimulateSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state Simulate allocates %.1f times per run, want 0", allocs)
 	}
 }
+
+// TestSimulateBatchAllocsFlat pins the batch engine's allocation shape:
+// its per-call setup (geometry dedup maps, group headers, the Result
+// slice) may allocate a constant amount per configuration set, but with
+// the replay arena pooled - including the permutation words - nothing may
+// scale with the trace: replaying a 16x longer trace must cost exactly
+// the same allocations per call.
+func TestSimulateBatchAllocsFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	short := randomTrace(rng, 5000)
+	long := randomTrace(rng, 80000) // spans multiple 32768-event blocks
+	archs := sampleArchs(rng, 16, true)
+	SimulateBatch(long, archs) // size the pooled arena for the large call
+	SimulateBatch(short, archs)
+	shortAllocs := testing.AllocsPerRun(20, func() { SimulateBatch(short, archs) })
+	longAllocs := testing.AllocsPerRun(20, func() { SimulateBatch(long, archs) })
+	if longAllocs != shortAllocs {
+		t.Errorf("SimulateBatch allocations scale with trace length: %.1f per call at 5k events, %.1f at 80k",
+			shortAllocs, longAllocs)
+	}
+}

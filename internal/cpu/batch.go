@@ -166,22 +166,72 @@ type cacheMember struct {
 }
 
 // lruStack simulates a family of set-associative true-LRU caches sharing a
-// set count and block size. Tags are kept MRU-first per set, so the depth
-// at which an access hits decides hit/miss for every member at once, the
-// common high-locality hit is a one-probe scan instead of a full
-// associativity sweep, and an access only visits the members it misses in
-// (sorted ascending, the scan stops at the first member deep enough to
-// hit).
+// set count and block size. The depth at which an access hits the per-set
+// MRU stack decides hit/miss for every member at once, and an access only
+// visits the members it misses in (sorted ascending, the scan stops at the
+// first member deep enough to hit).
+//
+// Two recency representations back the stack, chosen by depth:
+//
+//   - depth <= permMaxDepth: tags live at fixed ways and the MRU->LRU
+//     order is a permutation word - one 4-bit way nibble per recency
+//     position packed into a uint64 per set. A hit probe is a scan of at
+//     most depth contiguous tags plus a constant-time nibble search of
+//     the word; the rotate-to-MRU and the miss eviction are a shift/mask
+//     each, so no tag ever moves on a hit (the ring rotated up to depth
+//     tags per access, the dominant cost of the replay profile).
+//
+//   - deeper stacks keep the circular MRU tag list: a 32- or 64-deep
+//     order does not fit a word, and the ring's probe scans in recency
+//     order, which high-locality traces cut short early.
+//
+// Both orderings evolve identically (proved state-for-state by
+// TestPermStackMatchesRingExhaustive and fuzzed differentially against a
+// naive per-member model by FuzzLRUStackVsReference).
 type lruStack struct {
-	lines    []uint32 // sets x depth tags, a circular MRU list per set
-	head     []uint8  // per-set index of the MRU entry within its ring
-	fill     []uint8  // valid entries per set
-	depth    int      // largest member associativity (a power of two)
+	lines []uint32 // sets x depth tags: fixed ways (perm) or MRU ring
+	head  []uint8  // ring: per-set index of the MRU entry within its ring
+	fill  []uint8  // ring: valid entries per set
+	// perm, in permutation-word mode, holds each set's MRU->LRU order:
+	// nibble i is the way index of the i-th most recent line.
+	perm     []uint64
+	depth    int  // largest member associativity (a power of two)
+	permTop  uint // shift of the LRU nibble: (depth-1)*4
+	permMask uint64
 	setMask  uint32
 	blockLg  uint32
 	setBits  uint32
 	lastLine uint32 // line of the most recent access (same-line fast path)
 	members  []*cacheMember
+	// forceRing pins the ring representation regardless of depth; the
+	// equivalence tests and benchmarks use it to drive both encodings
+	// over one geometry.
+	forceRing bool
+}
+
+// permMaxDepth is the deepest stack a permutation word can order: 16
+// way nibbles of 4 bits fill the uint64.
+const permMaxDepth = 16
+
+// nibMask[k] masks the low k nibbles of a permutation word.
+var nibMask = func() (m [permMaxDepth + 1]uint64) {
+	for i := 1; i <= permMaxDepth; i++ {
+		m[i] = m[i-1]<<4 | 0xF
+	}
+	return
+}()
+
+// permIdentity is the initial MRU->LRU order: way depth-1-i at position
+// i, so misses - which always evict the LRU nibble - allocate ways in
+// ascending index order. Valid ways therefore always form a prefix of the
+// way array, which is what lets the probe's fixed-order tag scan stop at
+// the first invalid way.
+func permIdentity(depth int) uint64 {
+	var p uint64
+	for i := 0; i < depth; i++ {
+		p |= uint64(depth-1-i) << (4 * i)
+	}
+	return p
 }
 
 // member returns the member with the given associativity, creating it on
@@ -198,19 +248,50 @@ func (s *lruStack) member(assoc int) *cacheMember {
 }
 
 // finalize sorts members and sizes the tag store once all are registered;
-// the backing arrays come zeroed from the call's scratch arena.
+// the backing arrays come zeroed from the call's scratch arena. Stacks up
+// to permMaxDepth deep take the permutation-word representation, deeper
+// ones the ring.
 func (s *lruStack) finalize(sc *simScratch) {
 	sort.Slice(s.members, func(a, b int) bool { return s.members[a].assoc < s.members[b].assoc })
 	s.depth = s.members[len(s.members)-1].assoc
-	s.lines = sc.u32.get((int(s.setMask)+1)*s.depth, true)
-	s.head = sc.u8.get(int(s.setMask)+1, true)
-	s.fill = sc.u8.get(int(s.setMask)+1, true)
+	sets := int(s.setMask) + 1
+	s.lines = sc.u32.get(sets*s.depth, true)
 	s.lastLine = ^uint32(0)
+	if s.depth <= permMaxDepth && !s.forceRing {
+		s.perm = sc.u64.get(sets, false)
+		ident := permIdentity(s.depth)
+		for i := range s.perm {
+			s.perm[i] = ident
+		}
+		s.permTop = uint(s.depth-1) * 4
+		s.permMask = nibMask[s.depth]
+		s.head, s.fill = nil, nil
+		return
+	}
+	s.perm = nil
+	s.head = sc.u8.get(sets, true)
+	s.fill = sc.u8.get(sets, true)
 }
 
 // access touches addr at block position j, updates recency, and records
-// the outcome in the members the hit depth reaches. Invalid (zero) tags
-// only ever occupy the tail of a set's list, beyond its fill count.
+// the outcome in the members the hit depth reaches. Both representations
+// live in this one function on purpose: it is the hottest call in the
+// whole replay profile and too large to inline, so a probe must not pay
+// a second call hop - and each stack is mono-mode, so the perm branch
+// predicts perfectly.
+//
+// Permutation-word mode: tags sit at fixed ways and only the recency
+// word changes on a hit. The probe scans the tags in way order - the
+// loads carry no dependency on each other, unlike a recency-order walk,
+// so they pipeline - and resolves the hit depth with a constant-time
+// nibble search of the word. Valid ways always form a prefix of the way
+// array (misses allocate ways in index order, see permIdentity), so the
+// scan stops at the first invalid way (zero tag, which no real tag
+// collides with) without a fill count, and the LRU nibble of a
+// not-yet-full set is always a free way.
+//
+// Ring mode: invalid (zero) tags only ever occupy the tail of a set's
+// list, beyond its fill count.
 func (s *lruStack) access(addr uint32, j int, isStore, isData bool) {
 	line := addr >> s.blockLg
 	if line == s.lastLine {
@@ -223,33 +304,64 @@ func (s *lruStack) access(addr uint32, j int, isStore, isData bool) {
 	tag := (line >> s.setBits) + 1 // +1 so 0 means invalid, collision-free
 	base := int(set) * s.depth
 	buf := s.lines[base : base+s.depth]
-	h := int(s.head[set]) & (len(buf) - 1)
-	if buf[h] == tag {
-		return // MRU hit: no reordering, no member can miss at depth 0
-	}
-	n := int(s.fill[set])
-	d := 1
-	for d < n && buf[(h+d)&(len(buf)-1)] != tag {
-		d++
-	}
-	hitDepth := d
-	if d < n {
-		// Hit at depth d: rotate the d entries in front of it back by
-		// one and install the line at the MRU slot.
-		for i := d; i > 0; i-- {
-			buf[(h+i)&(len(buf)-1)] = buf[(h+i-1)&(len(buf)-1)]
+	hitDepth := s.depth
+	if s.perm != nil {
+		p := s.perm[set]
+		if buf[p&0xF] == tag {
+			return // MRU hit: no reordering, no member can miss at depth 0
 		}
-		buf[h] = tag
+		w := -1
+		for i, t := range buf {
+			if t == tag {
+				w = i
+				break
+			}
+			if t == 0 {
+				break // invalid prefix end reached: not resident
+			}
+		}
+		if w >= 0 {
+			// Hit at depth d = the position of way w's nibble: shift the
+			// d more-recent nibbles back by one and install w at the
+			// front - no tag moves.
+			d := nibblePos(p, uint64(w))
+			s.perm[set] = p&^nibMask[d+1] | p&nibMask[d]<<4 | uint64(w)
+			hitDepth = d
+		} else {
+			// Miss: evict the LRU way (top nibble) and rotate it to MRU
+			// - one shift/mask instead of the ring's head walk.
+			v := p >> s.permTop
+			s.perm[set] = (p<<4 | v) & s.permMask
+			buf[v] = tag
+		}
 	} else {
-		// Miss: the ring makes insertion O(1) - step the head back onto
-		// the LRU slot (evicting it when the set is full).
-		hitDepth = s.depth // beyond every member: miss for all
-		if n < s.depth {
-			s.fill[set] = uint8(n + 1)
+		h := int(s.head[set]) & (len(buf) - 1)
+		if buf[h] == tag {
+			return // MRU hit: no reordering, no member can miss at depth 0
 		}
-		h = (h - 1) & (len(buf) - 1)
-		buf[h] = tag
-		s.head[set] = uint8(h)
+		n := int(s.fill[set])
+		d := 1
+		for d < n && buf[(h+d)&(len(buf)-1)] != tag {
+			d++
+		}
+		if d < n {
+			// Hit at depth d: rotate the d entries in front of it back
+			// by one and install the line at the MRU slot.
+			for i := d; i > 0; i-- {
+				buf[(h+i)&(len(buf)-1)] = buf[(h+i-1)&(len(buf)-1)]
+			}
+			buf[h] = tag
+			hitDepth = d
+		} else {
+			// Miss: the ring makes insertion O(1) - step the head back
+			// onto the LRU slot (evicting it when the set is full).
+			if n < s.depth {
+				s.fill[set] = uint8(n + 1)
+			}
+			h = (h - 1) & (len(buf) - 1)
+			buf[h] = tag
+			s.head[set] = uint8(h)
+		}
 	}
 	for _, m := range s.members {
 		if m.assoc > hitDepth {
@@ -446,6 +558,17 @@ func log2u32(v uint32) uint32 {
 		n++
 	}
 	return n
+}
+
+// nibblePos returns the position of the nibble holding value w within the
+// permutation word p. It is the find-first-zero-nibble trick applied to
+// p XOR (w repeated into every nibble): subtraction borrows can only
+// forge zero-markers above the first true zero nibble, and w occurs in p
+// exactly once - below any spurious zero nibbles past the stack depth -
+// so the lowest marker is exact.
+func nibblePos(p, w uint64) int {
+	x := p ^ w*0x1111111111111111
+	return bits.TrailingZeros64((x-0x1111111111111111)&^x&0x8888888888888888) >> 2
 }
 
 // geomBits decomposes a validated cache geometry into set and block bits,
@@ -670,17 +793,200 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 	var memOps, branches uint64
 	var opCount [256]uint64
 
-	for blockStart := 0; blockStart < len(tr.Events); blockStart += blockEvents {
+	// Per-block state shared with the sweep closures below; the closures
+	// are defined once per call (not per block) so the engine's
+	// allocations stay flat however long the trace is
+	// (TestSimulateBatchAllocsFlat pins it).
+	var (
+		evs        []trace.Event
+		nb, words  int
+		lastMask   uint64
+		blockStart int
+	)
+
+	// Wave 1 - line-change detection (one tight pass over the packed
+	// PCs per IL1 block size), branch predictors (one fused
+	// predict+resolve sweep per BTB geometry over the block's
+	// conditional branches), and data caches (one sweep per geometry
+	// family over the packed memory events).
+	sweepLine := func(t int) {
+		lt := &lineTracks[t]
+		b := lt.blockLg
+		prev := lt.prevLine
+		changed := lt.changed
+		for j, pc := range pcList {
+			line := pc >> b
+			if line != prev {
+				changed.set(j)
+				prev = line
+			}
+		}
+		lt.prevLine = prev
+	}
+	sweepBTB := func(k int) {
+		g := &btbs[k]
+		g.dev.clearWords(words)
+		if g.mispredBits != nil {
+			g.mispredBits.clearWords(words)
+		}
+		for _, cp := range condList {
+			btbStep(g, cp)
+		}
+	}
+	sweepDC := func(k int) {
+		s := dcs[k]
+		for _, mp := range memList {
+			s.access(uint32(mp), int(mp>>32&0x7fffffff), mp>>63 != 0, true)
+		}
+	}
+	wave1 := func(i int) {
+		switch {
+		case i < len(lineTracks):
+			sweepLine(i)
+		case i < len(lineTracks)+len(btbs):
+			sweepBTB(i - len(lineTracks))
+		default:
+			sweepDC(i - len(lineTracks) - len(btbs))
+		}
+	}
+
+	// Wave 2 - fetch streams (each stream's decisions are pure bit
+	// arithmetic - the pending redirect is the previous position's
+	// (base | deviation) outcome - folded into counters by popcount)
+	// and instruction caches (every state-changing access happens at
+	// a line-change position, redirect-only refetches being
+	// guaranteed MRU hits, so each merged stack replays just its
+	// block size's line changes).
+	sweepIC := func(k int) {
+		g := &ics[k]
+		dev := btbs[g.btbIdx].dev
+		carry := uint64(0)
+		if g.redirCarry {
+			carry = 1
+		}
+		for w := 0; w < words; w++ {
+			v := baseRedir[w] | dev[w]
+			g.redirBits[w] = v<<1 | carry
+			carry = v >> 63
+		}
+		g.redirCarry = baseRedir.get(nb-1) || dev.get(nb-1)
+		g.redirBits[words-1] &= lastMask
+		changed := lineTracks[g.lineIdx].changed
+		redirs := 0
+		accs := 0
+		for w := 0; w < words; w++ {
+			a := g.redirBits[w] | changed[w]
+			g.accBits[w] = a
+			accs += bits.OnesCount64(a)
+			redirs += bits.OnesCount64(g.redirBits[w])
+		}
+		g.accesses += uint64(accs)
+		g.redirects += uint64(redirs)
+	}
+	sweepICStack := func(k int) {
+		s := icStacks[k]
+		changed := lineTracks[s.lineIdx].changed
+		for w := 0; w < words; w++ {
+			word := changed[w]
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				s.stack.access(pcList[j], j, false, false)
+			}
+		}
+	}
+	wave2 := func(i int) {
+		if i < len(ics) {
+			sweepIC(i)
+		} else {
+			sweepICStack(i - len(ics))
+		}
+	}
+
+	// Wave 3 - multi-issue configurations: full per-event model over
+	// the block, mirroring Simulate statement for statement with the
+	// shared outcomes read back from the bitsets.
+	wave3 := func(i int) {
+		st := wide[i]
+		g := &ics[st.icIdx]
+		bg := &btbs[st.btbIdx]
+		w := st.width
+		prevMem, prevCtl := false, false
+		if blockStart > 0 {
+			pop := isa.Op(tr.Events[blockStart-1].Op)
+			prevMem, prevCtl = pop.IsMem(), pop.IsControl()
+		}
+		for j := range evs {
+			ev := &evs[j]
+			op := isa.Op(ev.Op)
+			isMem := op.IsMem()
+			if g.accBits.get(j) {
+				if st.icm.missBits.get(j) {
+					st.cycles += st.icPenalty
+					st.fetchStalls += st.icPenalty
+				}
+				if g.redirBits.get(j) {
+					st.cycles += st.redirectBubble - 1
+					st.fetchStalls += st.redirectBubble - 1
+				}
+				st.slotOpen = false
+			}
+			var stall uint64
+			if ev.DistLoad != trace.NoDist {
+				elapsed := (int(ev.DistLoad) + w - 1) / w
+				if s := st.dl1Lat - elapsed; s > 0 {
+					stall = uint64(s)
+				}
+			}
+			if ev.DistFU != trace.NoDist {
+				elapsed := (int(ev.DistFU) + w - 1) / w
+				if s := int(ev.FULat) - elapsed; s > 0 && uint64(s) > stall {
+					stall = uint64(s)
+				}
+			}
+			if stall > 0 {
+				st.cycles += stall
+				st.depStalls += stall
+				st.slotOpen = false
+			}
+			pairable := w == 2 && st.slotOpen &&
+				ev.Flags&trace.FlagDepPrev == 0 &&
+				!(prevMem && isMem) && !prevCtl
+			if pairable {
+				st.slotOpen = false
+			} else {
+				st.cycles++
+				st.slotOpen = w == 2
+			}
+			st.decodes++
+			if isMem && st.dcm.missBits.get(j) {
+				p := st.dcPenalty
+				if op == isa.OpStore {
+					p = st.stPenalty
+				}
+				st.cycles += p
+				st.memStalls += p
+			}
+			if ev.Flags&trace.FlagCond != 0 && bg.mispredBits.get(j) {
+				st.cycles += mispredictPenalty
+				st.branchStalls += mispredictPenalty
+				st.decodes += uint64(mispredictPenalty * w / 2)
+			}
+			prevMem, prevCtl = isMem, op.IsControl()
+		}
+	}
+
+	for blockStart = 0; blockStart < len(tr.Events); blockStart += blockEvents {
 		blockEnd := blockStart + blockEvents
 		if blockEnd > len(tr.Events) {
 			blockEnd = len(tr.Events)
 		}
-		evs := tr.Events[blockStart:blockEnd]
-		nb := len(evs)
-		words := (nb + 63) / 64
+		evs = tr.Events[blockStart:blockEnd]
+		nb = len(evs)
+		words = (nb + 63) / 64
 		// Mask for the last partial word: the carry shift below may push
 		// one spurious bit past the final event.
-		lastMask := ^uint64(0)
+		lastMask = ^uint64(0)
 		if nb&63 != 0 {
 			lastMask = 1<<(nb&63) - 1
 		}
@@ -741,184 +1047,15 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 		memOps += uint64(len(memList))
 		branches += uint64(len(condList))
 
-		// The per-geometry sweeps below touch pairwise-disjoint state, so
-		// each wave fans over the worker pool (sequential at workers=1);
-		// the wave boundaries are the data dependencies: fetch streams
-		// read the BTB deviations and line changes, instruction stacks
-		// read the line changes, and the multi-issue replay reads every
+		// The per-geometry sweeps touch pairwise-disjoint state, so each
+		// wave fans over the worker pool (sequential at workers=1); the
+		// wave boundaries are the data dependencies: fetch streams read
+		// the BTB deviations and line changes, instruction stacks read
+		// the line changes, and the multi-issue replay reads every
 		// shared outcome bitset.
-
-		// Wave 1 - line-change detection (one tight pass over the packed
-		// PCs per IL1 block size), branch predictors (one fused
-		// predict+resolve sweep per BTB geometry over the block's
-		// conditional branches), and data caches (one sweep per geometry
-		// family over the packed memory events).
-		sweepLine := func(t int) {
-			lt := &lineTracks[t]
-			b := lt.blockLg
-			prev := lt.prevLine
-			changed := lt.changed
-			for j, pc := range pcList {
-				line := pc >> b
-				if line != prev {
-					changed.set(j)
-					prev = line
-				}
-			}
-			lt.prevLine = prev
-		}
-		sweepBTB := func(k int) {
-			g := &btbs[k]
-			g.dev.clearWords(words)
-			if g.mispredBits != nil {
-				g.mispredBits.clearWords(words)
-			}
-			for _, cp := range condList {
-				btbStep(g, cp)
-			}
-		}
-		sweepDC := func(k int) {
-			s := dcs[k]
-			for _, mp := range memList {
-				s.access(uint32(mp), int(mp>>32&0x7fffffff), mp>>63 != 0, true)
-			}
-		}
-		parallelSweep(workers, len(lineTracks)+len(btbs)+len(dcs), func(i int) {
-			switch {
-			case i < len(lineTracks):
-				sweepLine(i)
-			case i < len(lineTracks)+len(btbs):
-				sweepBTB(i - len(lineTracks))
-			default:
-				sweepDC(i - len(lineTracks) - len(btbs))
-			}
-		})
-
-		// Wave 2 - fetch streams (each stream's decisions are pure bit
-		// arithmetic - the pending redirect is the previous position's
-		// (base | deviation) outcome - folded into counters by popcount)
-		// and instruction caches (every state-changing access happens at
-		// a line-change position, redirect-only refetches being
-		// guaranteed MRU hits, so each merged stack replays just its
-		// block size's line changes).
-		sweepIC := func(k int) {
-			g := &ics[k]
-			dev := btbs[g.btbIdx].dev
-			carry := uint64(0)
-			if g.redirCarry {
-				carry = 1
-			}
-			for w := 0; w < words; w++ {
-				v := baseRedir[w] | dev[w]
-				g.redirBits[w] = v<<1 | carry
-				carry = v >> 63
-			}
-			g.redirCarry = baseRedir.get(nb-1) || dev.get(nb-1)
-			g.redirBits[words-1] &= lastMask
-			changed := lineTracks[g.lineIdx].changed
-			redirs := 0
-			accs := 0
-			for w := 0; w < words; w++ {
-				a := g.redirBits[w] | changed[w]
-				g.accBits[w] = a
-				accs += bits.OnesCount64(a)
-				redirs += bits.OnesCount64(g.redirBits[w])
-			}
-			g.accesses += uint64(accs)
-			g.redirects += uint64(redirs)
-		}
-		sweepICStack := func(k int) {
-			s := icStacks[k]
-			changed := lineTracks[s.lineIdx].changed
-			for w := 0; w < words; w++ {
-				word := changed[w]
-				for word != 0 {
-					j := w<<6 + bits.TrailingZeros64(word)
-					word &= word - 1
-					s.stack.access(pcList[j], j, false, false)
-				}
-			}
-		}
-		parallelSweep(workers, len(ics)+len(icStacks), func(i int) {
-			if i < len(ics) {
-				sweepIC(i)
-			} else {
-				sweepICStack(i - len(ics))
-			}
-		})
-
-		// Wave 3 - multi-issue configurations: full per-event model over
-		// the block, mirroring Simulate statement for statement with the
-		// shared outcomes read back from the bitsets.
-		parallelSweep(workers, len(wide), func(i int) {
-			st := wide[i]
-			g := &ics[st.icIdx]
-			bg := &btbs[st.btbIdx]
-			w := st.width
-			prevMem, prevCtl := false, false
-			if blockStart > 0 {
-				pop := isa.Op(tr.Events[blockStart-1].Op)
-				prevMem, prevCtl = pop.IsMem(), pop.IsControl()
-			}
-			for j := range evs {
-				ev := &evs[j]
-				op := isa.Op(ev.Op)
-				isMem := op.IsMem()
-				if g.accBits.get(j) {
-					if st.icm.missBits.get(j) {
-						st.cycles += st.icPenalty
-						st.fetchStalls += st.icPenalty
-					}
-					if g.redirBits.get(j) {
-						st.cycles += st.redirectBubble - 1
-						st.fetchStalls += st.redirectBubble - 1
-					}
-					st.slotOpen = false
-				}
-				var stall uint64
-				if ev.DistLoad != trace.NoDist {
-					elapsed := (int(ev.DistLoad) + w - 1) / w
-					if s := st.dl1Lat - elapsed; s > 0 {
-						stall = uint64(s)
-					}
-				}
-				if ev.DistFU != trace.NoDist {
-					elapsed := (int(ev.DistFU) + w - 1) / w
-					if s := int(ev.FULat) - elapsed; s > 0 && uint64(s) > stall {
-						stall = uint64(s)
-					}
-				}
-				if stall > 0 {
-					st.cycles += stall
-					st.depStalls += stall
-					st.slotOpen = false
-				}
-				pairable := w == 2 && st.slotOpen &&
-					ev.Flags&trace.FlagDepPrev == 0 &&
-					!(prevMem && isMem) && !prevCtl
-				if pairable {
-					st.slotOpen = false
-				} else {
-					st.cycles++
-					st.slotOpen = w == 2
-				}
-				st.decodes++
-				if isMem && st.dcm.missBits.get(j) {
-					p := st.dcPenalty
-					if op == isa.OpStore {
-						p = st.stPenalty
-					}
-					st.cycles += p
-					st.memStalls += p
-				}
-				if ev.Flags&trace.FlagCond != 0 && bg.mispredBits.get(j) {
-					st.cycles += mispredictPenalty
-					st.branchStalls += mispredictPenalty
-					st.decodes += uint64(mispredictPenalty * w / 2)
-				}
-				prevMem, prevCtl = isMem, op.IsControl()
-			}
-		})
+		parallelSweep(workers, len(lineTracks)+len(btbs)+len(dcs), wave1)
+		parallelSweep(workers, len(ics)+len(icStacks), wave2)
+		parallelSweep(workers, len(wide), wave3)
 	}
 
 	var aluOps, macOps, shiftOps uint64

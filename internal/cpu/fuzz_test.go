@@ -1,0 +1,217 @@
+// Differential fuzz targets for the two engines this package keeps
+// bit-identical by construction: the shared LRU stack (permutation-word
+// and ring encodings) against a naive per-member set-associative
+// reference model, and SimulateBatch against per-configuration Simulate.
+// CI runs both with a short -fuzztime as a smoke; seed corpora live under
+// testdata/fuzz.
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"portcc/internal/isa"
+	"portcc/internal/trace"
+)
+
+// refCache is the naive reference: one independent true-LRU
+// set-associative cache per member, tags kept MRU-first in a plain slice
+// with O(assoc) probe and rotate. Deliberately the most literal possible
+// encoding of the textbook policy.
+type refCache struct {
+	assoc                           int
+	blockLg                         uint32
+	setBits                         uint32
+	sets                            [][]uint32
+	misses, loadMisses, storeMisses uint64
+	missBits                        bitset
+}
+
+func newRefCache(setBits, blockLg uint32, assoc int) *refCache {
+	return &refCache{
+		assoc: assoc, blockLg: blockLg, setBits: setBits,
+		sets:     make([][]uint32, 1<<setBits),
+		missBits: newBitset(),
+	}
+}
+
+func (c *refCache) access(addr uint32, j int, isStore bool) {
+	line := addr >> c.blockLg
+	set := line & (uint32(len(c.sets)) - 1)
+	tag := line >> c.setBits
+	s := c.sets[set]
+	for i, t := range s {
+		if t == tag {
+			copy(s[1:i+1], s[:i])
+			s[0] = tag
+			return
+		}
+	}
+	c.misses++
+	if isStore {
+		c.storeMisses++
+	} else {
+		c.loadMisses++
+	}
+	c.missBits.set(j)
+	if len(s) < c.assoc {
+		s = append(s, 0)
+	}
+	copy(s[1:], s)
+	s[0] = tag
+	c.sets[set] = s
+}
+
+// fuzzAssocs decodes a member-associativity subset from a mask byte;
+// the menu spans both stack representations (perm words up to 16, ring
+// beyond).
+var fuzzAssocMenu = []int{1, 2, 4, 8, 16, 32}
+
+func fuzzAssocs(mask byte) []int {
+	var out []int
+	for i, a := range fuzzAssocMenu {
+		if mask>>i&1 != 0 {
+			out = append(out, a)
+		}
+	}
+	if out == nil {
+		out = []int{4}
+	}
+	return out
+}
+
+// FuzzLRUStackVsReference drives a random access sequence through the
+// shared lruStack - in whichever representation its depth selects, and
+// again with the ring forced - and through one naive reference cache per
+// member, asserting identical per-member miss, load-miss and store-miss
+// counts and identical per-event missBits. Input layout: byte 0 selects
+// the set count (1..16 sets), byte 1 the member associativities, then
+// 3-byte records of (addr16, flags).
+func FuzzLRUStackVsReference(f *testing.F) {
+	f.Add([]byte{2, 0b0110, 0, 0, 0, 1, 0, 1, 4, 0, 0, 0, 0, 1})
+	f.Add([]byte{0, 0b0001, 9, 9, 0, 9, 9, 1})
+	f.Add([]byte{4, 0b111111, 1, 2, 0, 3, 4, 1, 1, 2, 0, 250, 250, 1})
+	rng := rand.New(rand.NewSource(7))
+	long := make([]byte, 2, 2+3*300)
+	long[0], long[1] = 3, 0b101101
+	for i := 0; i < 300; i++ {
+		long = append(long, byte(rng.Intn(64)), byte(rng.Intn(4)), byte(rng.Intn(256)))
+	}
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		setBits := uint32(data[0]) % 5
+		const blockLg = 2
+		assocs := fuzzAssocs(data[1])
+		data = data[2:]
+
+		for _, ring := range []bool{false, true} {
+			s, sc := newTestStack(setBits, blockLg, assocs, ring)
+			refs := make([]*refCache, len(s.members))
+			for i, m := range s.members {
+				m.missBits = newBitset()
+				refs[i] = newRefCache(setBits, blockLg, m.assoc)
+			}
+			for j := 0; j+3 <= len(data) && j/3 < blockEvents; j += 3 {
+				addr := (uint32(data[j]) | uint32(data[j+1])<<8) << 2
+				isStore := data[j+2]&1 != 0
+				s.access(addr, j/3, isStore, true)
+				for _, rc := range refs {
+					rc.access(addr, j/3, isStore)
+				}
+			}
+			for i, m := range s.members {
+				rc := refs[i]
+				if m.misses != rc.misses || m.loadMisses != rc.loadMisses || m.storeMisses != rc.storeMisses {
+					t.Fatalf("ring=%v assoc=%d sets=%d: stack (miss=%d load=%d store=%d) != reference (miss=%d load=%d store=%d)",
+						ring, m.assoc, 1<<setBits, m.misses, m.loadMisses, m.storeMisses, rc.misses, rc.loadMisses, rc.storeMisses)
+				}
+				for w := range m.missBits {
+					if m.missBits[w] != rc.missBits[w] {
+						t.Fatalf("ring=%v assoc=%d: missBits word %d: stack %x != reference %x",
+							ring, m.assoc, w, m.missBits[w], rc.missBits[w])
+					}
+				}
+			}
+			putSimScratch(sc)
+		}
+	})
+}
+
+// fuzzTrace decodes an adversarial event stream from fuzz bytes, in the
+// spirit of randomTrace but byte-driven: arbitrary operation classes,
+// flags, addresses and dependency distances, including values the real
+// generator never emits.
+func fuzzTrace(data []byte) *trace.Trace {
+	tr := &trace.Trace{}
+	pc := uint32(0x1000)
+	for i := 0; i+6 <= len(data) && i/6 < 20000; i += 6 {
+		b := data[i : i+6]
+		op := isa.Op(int(b[0]) % isa.NumOps)
+		ev := trace.Event{
+			PC:       pc,
+			Addr:     uint32(b[1]) | uint32(b[2])<<8,
+			Op:       uint8(op),
+			DistLoad: trace.NoDist,
+			DistFU:   trace.NoDist,
+		}
+		switch b[3] % 4 {
+		case 0:
+			pc += 4
+		case 1:
+			pc = 0x1000 + uint32(b[4])*4
+		case 2:
+			ev.DistLoad = b[4]
+		case 3:
+			ev.DistFU = b[4]
+			ev.FULat = b[5]
+		}
+		ev.Flags = b[5] & (trace.FlagTaken | trace.FlagDepPrev | trace.FlagCond)
+		tr.Events = append(tr.Events, ev)
+		tr.OpCount[op]++
+		if op.IsMem() {
+			tr.MemOps++
+		}
+		if ev.Flags&trace.FlagCond != 0 {
+			tr.Branches++
+		}
+	}
+	tr.RegReads = uint64(len(tr.Events))
+	tr.RegWrites = uint64(len(tr.Events) / 2)
+	tr.Runs = 1
+	return tr
+}
+
+// FuzzSimulateBatchVsSimulate fuzzes the end-to-end equivalence: an
+// arbitrary event sequence replayed through the batched one-pass engine
+// must produce, for every architecture of a base+extended sample,
+// exactly the Result of per-configuration Simulate. The first byte seeds
+// the architecture sample so geometry sharing patterns vary too.
+func FuzzSimulateBatchVsSimulate(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	rng := rand.New(rand.NewSource(3))
+	seq := make([]byte, 1, 1+6*400)
+	for i := 0; i < 6*400; i++ {
+		seq = append(seq, byte(rng.Intn(256)))
+	}
+	f.Add(seq)
+	f.Add([]byte{7, 255, 255, 255, 255, 255, 255, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		rng := rand.New(rand.NewSource(int64(data[0])))
+		archs := sampleArchs(rng, 4, true)
+		tr := fuzzTrace(data[1:])
+		batch := SimulateBatch(tr, archs)
+		for i, cfg := range archs {
+			if want := Simulate(tr, cfg); batch[i] != want {
+				t.Fatalf("config %d (%s):\n batch %+v\n  want %+v", i, cfg.String(), batch[i], want)
+			}
+		}
+	})
+}

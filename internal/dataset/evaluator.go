@@ -171,6 +171,8 @@ type Evaluator struct {
 	Simulations int
 	// Batched-path counters (see Stats).
 	passRuns, passRunsSaved, traceReuses int64
+	// Trace-generation counters (see Stats).
+	traceGens, traceEvents int64
 }
 
 type cachedTrace struct {
@@ -210,7 +212,11 @@ func NewEvaluatorWith(cfg EvalConfig, base *SharedBase) *Evaluator {
 // have run for it. TraceReuses counts settings whose trace generation
 // (and replay) was skipped because an earlier setting of the same sweep
 // produced a byte-identical binary - each such setting once, however
-// many cells it spans.
+// many cells it spans. TraceGens counts trace generations this evaluator
+// performed (probes included, pool-shared probes excluded) and
+// TraceEvents the dynamic instructions they emitted - the denominator
+// that makes generator-throughput changes observable from a benchmark
+// run without a profiler.
 type Stats struct {
 	Compiles    int
 	Simulations int
@@ -218,6 +224,9 @@ type Stats struct {
 	PassRuns      int64
 	PassRunsSaved int64
 	TraceReuses   int64
+
+	TraceGens   int64
+	TraceEvents int64
 }
 
 // Stats returns the work counters under the evaluator's lock, safe
@@ -231,7 +240,16 @@ func (e *Evaluator) Stats() Stats {
 		PassRuns:      e.passRuns,
 		PassRunsSaved: e.passRunsSaved,
 		TraceReuses:   e.traceReuses,
+		TraceGens:     e.traceGens,
+		TraceEvents:   e.traceEvents,
 	}
+}
+
+// countTraceGen records one performed trace generation. Called with e.mu
+// held.
+func (e *Evaluator) countTraceGen(tr *trace.Trace) {
+	e.traceGens++
+	e.traceEvents += int64(len(tr.Events))
 }
 
 // module returns the pristine IR of a program, building it on first use
@@ -280,6 +298,7 @@ func (e *Evaluator) runsFor(name string, m *ir.Module) (int, *codegen.Program, *
 	e.Compiles++
 	e.passRuns += planSteps(&o3, m)
 	probe := trace.Generate(p, trace.Config{Runs: 1, MaxInsns: e.cfg.MaxInsns, Seed: e.cfg.Seed})
+	e.countTraceGen(probe)
 	r := deriveRuns(probe, e.cfg)
 	e.runs[name] = r
 	e.perRuns[name] = probe.Insns()
@@ -385,6 +404,9 @@ func (e *Evaluator) Trace(name string, c *opt.Config) (*trace.Trace, *codegen.Pr
 				o3Trace = trace.Generate(o3Prog, trace.Config{Runs: runs, MaxInsns: e.cfg.MaxInsns, Seed: e.cfg.Seed})
 			}
 			e.mu.Lock()
+			if o3Trace != o3Probe {
+				e.countTraceGen(o3Trace)
+			}
 			e.insertTrace(o3Key, o3Trace, o3Prog)
 			ct, ok := e.traces[key]
 			e.mu.Unlock()
@@ -404,6 +426,7 @@ func (e *Evaluator) Trace(name string, c *opt.Config) (*trace.Trace, *codegen.Pr
 	e.mu.Lock()
 	e.Compiles++
 	e.passRuns += planSteps(c, m)
+	e.countTraceGen(tr)
 	e.insertTrace(key, tr, p)
 	e.mu.Unlock()
 	return tr, p, nil
@@ -519,7 +542,11 @@ func (e *Evaluator) GenerateTrace(name string, p *codegen.Program) (*trace.Trace
 		capHint = max
 	}
 	tr := trace.Get(capHint)
-	return trace.GenerateInto(tr, p, trace.Config{Runs: runs, MaxInsns: cfg.MaxInsns, Seed: cfg.Seed}), nil
+	trace.GenerateInto(tr, p, trace.Config{Runs: runs, MaxInsns: cfg.MaxInsns, Seed: cfg.Seed})
+	e.mu.Lock()
+	e.countTraceGen(tr)
+	e.mu.Unlock()
+	return tr, nil
 }
 
 // addTraceReuses records settings whose trace generation (and replay)

@@ -1,0 +1,56 @@
+// The race detector makes sync.Pool drop items on purpose, so the
+// zero-alloc pins only hold in normal builds.
+//go:build !race
+
+package trace_test
+
+import (
+	"testing"
+
+	"portcc/internal/core"
+	"portcc/internal/opt"
+	"portcc/internal/prog"
+	"portcc/internal/trace"
+)
+
+// TestGenerateIntoSteadyStateAllocs pins the cursor-free generator: with
+// the event buffer pooled (Get/Put) and every stream/latch/site cursor a
+// dense image-assigned slot into pooled flat slices, steady-state
+// generation must not allocate at all - the map-cursor generator it
+// replaced allocated per-stream state on every run.
+func TestGenerateIntoSteadyStateAllocs(t *testing.T) {
+	p := compileO3(t, "gs")
+	cfg := trace.Config{Runs: 2, MaxInsns: 100_000, Seed: 7}
+	warm := trace.Generate(p, cfg) // sizes the pooled buffers
+	capHint := len(warm.Events) + 64
+	allocs := testing.AllocsPerRun(20, func() {
+		tr := trace.Get(capHint)
+		trace.GenerateInto(tr, p, cfg)
+		trace.Put(tr)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state GenerateInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkGenerateInto measures pooled trace generation end to end (the
+// ~25%-of-runtime stage the dense cursor slots attack); events/s is the
+// comparable throughput metric.
+func BenchmarkGenerateInto(b *testing.B) {
+	m := prog.MustBuild("gs")
+	o3 := opt.O3()
+	p, err := core.Compile(m, &o3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := trace.Config{Runs: 2, MaxInsns: 100_000, Seed: 7}
+	tr := trace.Get(100_064)
+	defer trace.Put(tr)
+	trace.GenerateInto(tr, p, cfg)
+	events := len(tr.Events)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.GenerateInto(tr, p, cfg)
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

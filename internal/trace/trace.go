@@ -6,6 +6,12 @@
 // not depend on the microarchitecture - so one trace is generated per
 // (program, optimisation setting) and replayed against every
 // microarchitecture configuration, exactly like trace-driven simulation.
+//
+// Generation is cursor-free: the image (internal/codegen) assigns every
+// address stream, loop-latch counter and probabilistic branch site a
+// dense slot at build time, so the generator's per-event state lives in
+// flat pooled slices and steady-state generation performs no allocations
+// and no map probes.
 package trace
 
 import (
@@ -140,27 +146,29 @@ func StreamBase(id int32) uint32 {
 	return DataBase + uint32(id)*DataSpacing
 }
 
-type streamState struct {
-	cursor uint32
-	count  uint64
-}
-
 type retSite struct {
 	fi   *codegen.FuncImage
 	bpos int // layout position within fi.Blocks
 	ipos int // next instruction index within the block body
 }
 
-// generator walks the binary image.
+// generator walks the binary image. All its per-program cursor state is
+// cursor-free in the map sense: codegen assigns every address stream,
+// latch trip counter and probabilistic branch site a dense slot at
+// image-build time (Program.NumStreams/NumLatchSlots/NumSiteSlots with
+// the per-block/per-insn slot indices), so the per-event lookups below
+// are flat slice indexing into pooled scratch arrays.
 type generator struct {
 	prog     *codegen.Program
 	seed     uint64
 	tr       *Trace
 	max      int
 	wantRuns int
-	streams  map[int32]*streamState
-	trips    map[int64]int32 // (funcID<<32 | blockID) -> latch counter
-	sites    map[int32]uint64
+
+	streamCursor []uint32 // per stream slot: next sequential offset
+	streamCount  []uint64 // per stream slot: accesses (random-address hash)
+	trips        []int32  // per latch slot: trip counter
+	sites        []uint64 // per site slot: execution counter
 
 	// Register scoreboard indexed by physical register number.
 	lastIdx  [isa.NumRegs + 1]int64
@@ -177,14 +185,18 @@ func Generate(p *codegen.Program, cfg Config) *Trace {
 }
 
 // genPool recycles generator scratch (stream cursors, trip counters, site
-// indices) between runs, so batched generation stays allocation-flat.
-var genPool = sync.Pool{New: func() any {
-	return &generator{
-		streams: make(map[int32]*streamState),
-		trips:   make(map[int64]int32),
-		sites:   make(map[int32]uint64),
+// counters) between runs, so batched generation stays allocation-flat.
+var genPool = sync.Pool{New: func() any { return new(generator) }}
+
+// sized returns buf resized to n zeroed elements, reusing its capacity.
+func sized[T comparable](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
 	}
-}}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
 
 // GenerateInto executes the program image into dst (typically from Get,
 // reusing its event buffer) and returns it. The produced trace is
@@ -202,9 +214,10 @@ func GenerateInto(dst *Trace, p *codegen.Program, cfg Config) *Trace {
 	g.wantRuns = cfg.Runs
 	g.dyn = 0
 	g.callStack = g.callStack[:0]
-	clear(g.streams)
-	clear(g.trips)
-	clear(g.sites)
+	g.streamCursor = sized(g.streamCursor, p.NumStreams)
+	g.streamCount = sized(g.streamCount, p.NumStreams)
+	g.trips = sized(g.trips, p.NumLatchSlots)
+	g.sites = sized(g.sites, p.NumSiteSlots)
 	for i := range g.lastIdx {
 		g.lastIdx[i] = -1 << 60
 		g.lastLoad[i] = false
@@ -264,6 +277,7 @@ func (g *generator) run() {
 		calledInto := false
 		for ipos < len(bi.Insns) && !g.full() {
 			in := &bi.Insns[ipos]
+			slot := bi.StreamSlot[ipos]
 			pc := bi.Addr + uint32(ipos*isa.InsnBytes)
 			ipos++
 			if in.Op == isa.OpCall {
@@ -279,7 +293,7 @@ func (g *generator) run() {
 				calledInto = true
 				break
 			}
-			g.step(pc, in)
+			g.step(pc, in, slot)
 		}
 		if calledInto || g.full() {
 			continue
@@ -318,7 +332,7 @@ func (g *generator) run() {
 			bpos, ipos = npos, 0
 
 		case ir.TermBranch:
-			taken := g.decide(fi.ID, bi)
+			taken := g.decide(bi)
 			target := bi.Term.Fall
 			if taken {
 				target = bi.Term.Taken
@@ -375,16 +389,15 @@ func posOf(fi *codegen.FuncImage, id int) int {
 // they are constant for a whole program execution: every compilation of
 // the program sees the same outcome sequence per source branch, and
 // unswitching a truly invariant branch preserves semantics exactly.
-func (g *generator) decide(funcID int, bi *codegen.BlockImage) bool {
+func (g *generator) decide(bi *codegen.BlockImage) bool {
 	t := bi.Term
 	if t.Trip > 0 {
-		key := int64(funcID)<<32 | int64(bi.ID)
-		c := g.trips[key] + 1
+		c := g.trips[bi.LatchSlot] + 1
 		if c >= t.Trip {
-			g.trips[key] = 0
+			g.trips[bi.LatchSlot] = 0
 			return false
 		}
-		g.trips[key] = c
+		g.trips[bi.LatchSlot] = c
 		return true
 	}
 	if t.Prob <= 0 {
@@ -397,18 +410,20 @@ func (g *generator) decide(funcID int, bi *codegen.BlockImage) bool {
 		h := splitmix(g.seed ^ uint64(uint32(t.Site))<<20 ^ uint64(g.tr.Runs))
 		return hashFloat(h) < t.Prob
 	}
-	n := g.sites[t.Site]
-	g.sites[t.Site] = n + 1
+	n := g.sites[bi.SiteSlot]
+	g.sites[bi.SiteSlot] = n + 1
 	h := splitmix(g.seed ^ uint64(uint32(t.Site))<<20 ^ n)
 	return hashFloat(h) < t.Prob
 }
 
-// step emits the event for a non-control instruction.
-func (g *generator) step(pc uint32, in *ir.Insn) {
+// step emits the event for a non-control instruction; slot is the
+// instruction's dense stream index from the image (-1 when it keeps no
+// stream cursor).
+func (g *generator) step(pc uint32, in *ir.Insn, slot int32) {
 	ev := Event{PC: pc, Op: uint8(in.Op), DistLoad: NoDist, DistFU: NoDist}
 	g.depends(&ev, in)
 	if in.Op.IsMem() {
-		ev.Addr = g.address(in)
+		ev.Addr = g.address(in, slot)
 		if in.Mem.Kind == ir.MemPointer && in.Op == isa.OpLoad {
 			// Pointer chasing: the address depends on the previous load.
 			ev.DistLoad = 1
@@ -470,33 +485,33 @@ func (g *generator) writeDep(in *ir.Insn) {
 	g.lastLat[r] = uint8(in.Op.Latency())
 }
 
-// address synthesises the data address for a memory instruction.
-func (g *generator) address(in *ir.Insn) uint32 {
+// address synthesises the data address for a memory instruction; slot is
+// the image-assigned dense stream index (-1 exactly for the deterministic
+// frame-slot accesses, which keep no cursor).
+func (g *generator) address(in *ir.Insn, slot int32) uint32 {
 	m := in.Mem
 	base := StreamBase(m.Stream)
-	if in.HasFlag(ir.FlagSpill) || in.HasFlag(ir.FlagSave) || in.HasFlag(ir.FlagPrologue) {
+	if slot < 0 {
 		// Frame slots are deterministic: slot index in Imm.
 		return base + uint32(in.Imm)*4
-	}
-	st := g.streams[m.Stream]
-	if st == nil {
-		st = &streamState{}
-		g.streams[m.Stream] = st
 	}
 	w := uint32(m.WSet)
 	switch m.Kind {
 	case ir.MemSeq, ir.MemStrided:
-		a := base + st.cursor
-		st.cursor += uint32(m.Stride)
-		if st.cursor >= w {
-			st.cursor = 0
+		cur := g.streamCursor[slot]
+		a := base + cur
+		cur += uint32(m.Stride)
+		if cur >= w {
+			cur = 0
 		}
+		g.streamCursor[slot] = cur
 		return a
 	case ir.MemScalar:
 		return base
 	default: // MemRandom, MemPointer, MemTable, MemStack
-		st.count++
-		h := splitmix(g.seed ^ uint64(uint32(m.Stream))<<32 ^ st.count)
+		n := g.streamCount[slot] + 1
+		g.streamCount[slot] = n
+		h := splitmix(g.seed ^ uint64(uint32(m.Stream))<<32 ^ n)
 		return base + (uint32(h)%w)&^3
 	}
 }
