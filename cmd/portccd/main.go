@@ -11,8 +11,16 @@
 // The wire handshake carries the protocol and dataset schema versions,
 // so a coordinator built against a different schema is refused with a
 // typed error instead of gob decode noise. Quiet connections carry
-// heartbeats; a coordinator that misses a few treats this shard as dead
-// and requeues its cells elsewhere.
+// heartbeats; a coordinator that misses a few treats this shard as dead,
+// requeues its cells elsewhere, and redials this address with backoff -
+// a restarted daemon rejoins the same run and picks up fresh work.
+//
+// The daemon is built to survive its failure modes: a panic inside one
+// work cell is recovered and shipped back as a typed cell error (the
+// daemon and its other connections keep serving), transient accept
+// failures such as fd exhaustion are retried with backoff instead of
+// killing the process, and protocol-violating coordinators get their
+// connection dropped without disturbing well-behaved ones.
 //
 // The first SIGTERM (or SIGINT) drains gracefully: the daemon stops
 // accepting connections, finishes the assignments already in flight

@@ -8,12 +8,14 @@
 // With -shards the grid's work cells are shipped to portccd worker
 // daemons over gob/TCP instead of the local pool; the written dataset is
 // bit-identical either way, including when a shard dies mid-run (its
-// cells requeue onto the survivors).
+// cells requeue onto the survivors while the coordinator redials it
+// with backoff - tune with -shard-retries and -shard-backoff).
 //
 // Usage:
 //
 //	trainer -out dataset.gob [-scale small] [-archs N] [-opts N]
 //	        [-extended] [-workers N] [-shards host:port,host:port]
+//	        [-shard-retries N] [-shard-backoff dur]
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 	cf.RegisterScale("small")
 	cf.RegisterWorkers()
 	cf.RegisterShards()
+	cf.RegisterShardRetry()
 	out := flag.String("out", "dataset.gob", "output file")
 	archs := flag.Int("archs", 0, "override architecture sample count")
 	opts := flag.Int("opts", 0, "override optimisation sample count")
@@ -58,6 +61,7 @@ func main() {
 		portcc.WithScale(scale),
 		portcc.WithWorkers(cf.Workers),
 		portcc.WithShards(shards...),
+		portcc.WithShardRetry(cf.ShardRetry()),
 		portcc.WithProgress(func(p portcc.Progress) { report(p.Done, p.Total) }),
 	}
 	if *naive {

@@ -26,10 +26,22 @@ var (
 	// incompatible coordinator/worker wire protocol version.
 	ErrWireVersion = pcerr.ErrWireVersion
 	// ErrShardFailure reports a sharded exploration that ran out of
-	// worker shards: dead shards requeue onto survivors, so this
-	// surfaces only when every shard has failed. It wraps the last
-	// shard's underlying error.
+	// worker shards: dead connections redial with backoff and their
+	// cells requeue onto survivors, so this surfaces only when every
+	// shard has exhausted its retry budget (WithShardRetry). It wraps
+	// the last shard's underlying error.
 	ErrShardFailure = pcerr.ErrShardFailure
+	// ErrCellPoisoned reports a work cell quarantined after stranding
+	// too many dying shard connections in a row (RetryPolicy.MaxStrands)
+	// - the distributed analogue of a crash loop pinned to one input.
+	// The sharded run fails at that cell's index instead of burning
+	// every shard's retry budget on it.
+	ErrCellPoisoned = pcerr.ErrCellPoisoned
+	// ErrCellPanic reports a work cell whose runner panicked on a worker
+	// daemon. The daemon survives (the panic is recovered and shipped
+	// back typed), the run stops at the panicking cell's index, and the
+	// error is not a shard failure: the shard stays healthy.
+	ErrCellPanic = pcerr.ErrCellPanic
 )
 
 type (

@@ -3,6 +3,9 @@ package cliutil
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"portcc/internal/sched"
 )
 
 func TestFlagsShardsParsing(t *testing.T) {
@@ -19,6 +22,19 @@ func TestFlagsShardsParsing(t *testing.T) {
 		if got := f.Shards(); len(got) != tc.want {
 			t.Errorf("Shards(%q) = %v, want %d entries", tc.in, got, tc.want)
 		}
+	}
+}
+
+func TestShardRetryPolicy(t *testing.T) {
+	// Unset flags yield the zero policy: scheduler defaults stay in force.
+	var f Flags
+	if got := f.ShardRetry(); got != (sched.RetryPolicy{}) {
+		t.Errorf("unset retry flags produced %+v, want zero policy", got)
+	}
+	f = Flags{shardRetries: 7, shardBackoff: 250 * time.Millisecond}
+	want := sched.RetryPolicy{MaxAttempts: 7, BaseBackoff: 250 * time.Millisecond}
+	if got := f.ShardRetry(); got != want {
+		t.Errorf("ShardRetry() = %+v, want %+v", got, want)
 	}
 }
 

@@ -10,16 +10,21 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
+
+	"portcc/internal/sched"
 )
 
 // Flags is the option set shared by the portcc command-line tools:
-// sampling scale, worker-pool size, and the shard list for distributed
-// exploration. Each tool registers the subset it uses and calls Init for
-// the common prologue.
+// sampling scale, worker-pool size, and the shard list plus reconnect
+// policy for distributed exploration. Each tool registers the subset it
+// uses and calls Init for the common prologue.
 type Flags struct {
-	Scale   string
-	Workers int
-	shards  string
+	Scale        string
+	Workers      int
+	shards       string
+	shardRetries int
+	shardBackoff time.Duration
 }
 
 // RegisterScale installs the shared -scale flag.
@@ -36,6 +41,21 @@ func (f *Flags) RegisterWorkers() {
 func (f *Flags) RegisterShards() {
 	flag.StringVar(&f.shards, "shards", "",
 		"comma-separated portccd worker addresses (host:port,...) for distributed exploration")
+}
+
+// RegisterShardRetry installs the shared -shard-retries and
+// -shard-backoff flags alongside -shards.
+func (f *Flags) RegisterShardRetry() {
+	flag.IntVar(&f.shardRetries, "shard-retries", 0,
+		"consecutive fruitless redials before a dead shard is abandoned (0 = default)")
+	flag.DurationVar(&f.shardBackoff, "shard-backoff", 0,
+		"initial shard redial backoff, doubling per attempt (0 = default)")
+}
+
+// ShardRetry returns the reconnect policy the retry flags describe;
+// unset flags leave the scheduler defaults in force.
+func (f *Flags) ShardRetry() sched.RetryPolicy {
+	return sched.RetryPolicy{MaxAttempts: f.shardRetries, BaseBackoff: f.shardBackoff}
 }
 
 // Shards returns the parsed -shards address list, empty entries dropped

@@ -127,6 +127,13 @@ type ExploreOptions struct {
 	// Cells from a dead shard requeue onto the survivors; the merged
 	// stream is bit-identical to a local run of the same request.
 	Shards []string
+	// Retry governs how hard the coordinator fights to keep shard
+	// connections alive: dead connections are redialled with exponential
+	// backoff up to Retry.MaxAttempts per shard, and cells repeatedly
+	// stranded by dying connections are quarantined after
+	// Retry.MaxStrands strandings. The zero value applies the scheduler
+	// defaults. Ignored for local runs.
+	Retry sched.RetryPolicy
 	// Naive forces the per-cell compile path (see ExploreRequest.Naive).
 	Naive bool
 }
@@ -134,7 +141,7 @@ type ExploreOptions struct {
 // executor picks the scheduling backend the options describe.
 func (o *ExploreOptions) executor() sched.Executor {
 	if len(o.Shards) > 0 {
-		return &sched.Remote{Addrs: o.Shards}
+		return &sched.Remote{Addrs: o.Shards, Retry: o.Retry}
 	}
 	return sched.Local{Workers: o.Workers}
 }
@@ -286,9 +293,14 @@ func ServeConfig(workers int, heartbeat time.Duration) sched.ServeConfig {
 //     (their results are still yielded), and the terminal yield carries
 //     the error of the lowest-indexed failing cell - deterministic under
 //     any worker schedule or shard layout.
-//   - A dead shard is not a failure: its unfinished cells requeue onto
-//     the surviving shards. Only when every shard has died does the
-//     terminal yield carry an error wrapping pcerr.ErrShardFailure.
+//   - A dead shard connection is not a failure: its unfinished cells
+//     requeue onto the survivors while the coordinator redials the shard
+//     with exponential backoff (ExploreOptions.Retry). Only when every
+//     shard has exhausted its retry budget does the terminal yield carry
+//     an error wrapping pcerr.ErrShardFailure. A cell that repeatedly
+//     strands dying connections is quarantined as pcerr.ErrCellPoisoned
+//     at its own index; a cell whose runner panics on the daemon fails
+//     typed as pcerr.ErrCellPanic without killing the daemon.
 //   - On context cancellation the workers drain promptly without leaking
 //     goroutines and the terminal yield carries a *pcerr.PartialError
 //     wrapping ctx.Err() with done/total cell counts.

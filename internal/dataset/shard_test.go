@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"portcc/internal/faultnet"
 	"portcc/internal/pcerr"
 	"portcc/internal/sched"
 )
@@ -34,6 +35,12 @@ func shardConfig() GenConfig {
 // closed, connections killed) and waits for the serve loop to exit;
 // it is idempotent and registered as cleanup.
 func startShard(t *testing.T, cfg sched.ServeConfig) (addr string, kill func()) {
+	return startShardWith(t, cfg, nil)
+}
+
+// startShardWith is startShard with a fault plan applied to the shard's
+// accepted connections (nil = fault-free).
+func startShardWith(t *testing.T, cfg sched.ServeConfig, plan faultnet.Plan) (addr string, kill func()) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -43,7 +50,11 @@ func startShard(t *testing.T, cfg sched.ServeConfig) (addr string, kill func()) 
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		sched.Serve(ctx, ln, cfg)
+		var serveLn net.Listener = ln
+		if plan != nil {
+			serveLn = faultnet.Wrap(ln, plan)
+		}
+		sched.Serve(ctx, serveLn, cfg)
 	}()
 	var once sync.Once
 	kill = func() {
@@ -116,6 +127,40 @@ func TestShardDeathRequeuesOntoSurvivor(t *testing.T) {
 	}
 	if !bytes.Equal(gobBytes(t, local), gobBytes(t, sharded)) {
 		t.Fatal("dataset after shard death not bit-identical to local run")
+	}
+}
+
+// TestShardedGenerateBitIdenticalUnderFaults is the self-healing
+// acceptance property: both shards' first connections are cut mid-run by
+// an injected fault, the coordinator redials them with backoff, the
+// stranded cells requeue, and the merged dataset is still bit-identical
+// to the single-process run - the fault schedule leaves no trace in the
+// output.
+func TestShardedGenerateBitIdenticalUnderFaults(t *testing.T) {
+	cfg := shardConfig()
+	local, err := GenerateWith(context.Background(), cfg, ExploreOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connection 0 on each shard survives the handshake and job exchange,
+	// then dies partway through streaming results; every redial is clean.
+	cut := func(conn int) faultnet.Fault {
+		if conn == 0 {
+			return faultnet.Fault{CloseAfterReads: 8}
+		}
+		return faultnet.Fault{}
+	}
+	a1, _ := startShardWith(t, ServeConfig(2, 50*time.Millisecond), cut)
+	a2, _ := startShardWith(t, ServeConfig(2, 50*time.Millisecond), cut)
+	sharded, err := GenerateWith(context.Background(), cfg, ExploreOptions{
+		Shards: []string{a1, a2},
+		Retry:  sched.RetryPolicy{MaxAttempts: 10, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond, Seed: 7},
+	})
+	if err != nil {
+		t.Fatalf("generation with faulted shard connections: %v", err)
+	}
+	if !bytes.Equal(gobBytes(t, local), gobBytes(t, sharded)) {
+		t.Fatal("dataset after connection faults not bit-identical to local run")
 	}
 }
 

@@ -1,0 +1,117 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// pair returns a faulted server-side connection (accepted through a
+// wrapped listener) and the raw client side talking to it.
+func pair(t *testing.T, f Fault) (server net.Conn, client net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	fln := Wrap(ln, func(int) Fault { return f })
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := fln.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	server, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { server.Close() })
+	return server, client
+}
+
+// TestCloseAfterReads: the scheduled number of reads succeed, the next
+// one kills the connection, and the peer observes the death.
+func TestCloseAfterReads(t *testing.T) {
+	server, client := pair(t, Fault{CloseAfterReads: 2})
+	go func() {
+		for i := 0; i < 4; i++ {
+			client.Write([]byte{byte(i)})
+		}
+	}()
+	buf := make([]byte, 1)
+	for i := 0; i < 2; i++ {
+		if _, err := io.ReadFull(server, buf); err != nil {
+			t.Fatalf("read %d within budget: %v", i, err)
+		}
+	}
+	if _, err := server.Read(buf); err == nil {
+		t.Fatal("third read succeeded past a CloseAfterReads: 2 budget")
+	}
+	// The underlying close reaches the peer: its next read fails too.
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.Read(buf); err == nil {
+		t.Fatal("peer read succeeded after the faulted side died")
+	}
+}
+
+// TestCloseAfterWritesMidWrite: the fatal write delivers a truncated
+// prefix when MidWrite is set, modelling a frame cut mid-stream.
+func TestCloseAfterWritesMidWrite(t *testing.T) {
+	server, client := pair(t, Fault{CloseAfterWrites: 1, MidWrite: true})
+	if _, err := server.Write([]byte("abcd")); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if _, err := server.Write([]byte("efgh")); err == nil {
+		t.Fatal("second write succeeded past a CloseAfterWrites: 1 budget")
+	}
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, _ := io.ReadAll(client)
+	if !bytes.Equal(got, []byte("abcdef")) {
+		t.Fatalf("peer received %q, want the full first write plus half the fatal one (%q)", got, "abcdef")
+	}
+}
+
+// TestAcceptReset: the connection is dead on arrival - the server's
+// first read fails, as does the client's.
+func TestAcceptReset(t *testing.T) {
+	server, client := pair(t, Fault{AcceptReset: true})
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); err == nil {
+		t.Fatal("read on a reset-on-accept connection succeeded")
+	}
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.Read(buf); err == nil {
+		t.Fatal("peer read on a reset-on-accept connection succeeded")
+	}
+}
+
+// TestSeededDeterministic: the same seed yields the same schedule, and
+// connections past the faulted prefix are clean - every plan heals.
+func TestSeededDeterministic(t *testing.T) {
+	a, b := Seeded(42, 8), Seeded(42, 8)
+	for i := 0; i < 12; i++ {
+		fa, fb := a(i), b(i)
+		if !reflect.DeepEqual(fa, fb) {
+			t.Fatalf("seed 42 conn %d differs across derivations: %+v vs %+v", i, fa, fb)
+		}
+		if i >= 8 && fa != (Fault{}) {
+			t.Fatalf("conn %d past the faulted prefix is not clean: %+v", i, fa)
+		}
+	}
+	if reflect.DeepEqual(Seeded(1, 4)(0), Seeded(2, 4)(0)) && reflect.DeepEqual(Seeded(1, 4)(1), Seeded(2, 4)(1)) &&
+		reflect.DeepEqual(Seeded(1, 4)(2), Seeded(2, 4)(2)) && reflect.DeepEqual(Seeded(1, 4)(3), Seeded(2, 4)(3)) {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}

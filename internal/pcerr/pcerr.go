@@ -24,10 +24,22 @@ var (
 	// coordinator/worker wire protocol version.
 	ErrWireVersion = errors.New("wire protocol version mismatch")
 	// ErrShardFailure reports distributed exploration that ran out of
-	// worker shards: a dead shard's cells are requeued onto survivors, so
-	// this surfaces only when every shard has failed. It wraps the last
-	// shard's underlying error.
+	// worker shards: a dead shard's cells are requeued onto survivors and
+	// dead connections are redialled with backoff, so this surfaces only
+	// when every shard has burned its full retry budget. It wraps the
+	// last shard's underlying error.
 	ErrShardFailure = errors.New("shard failure")
+	// ErrCellPoisoned reports a work cell quarantined by the coordinator:
+	// every connection that was assigned the cell died before resolving
+	// it, enough times in a row that the cell itself is the prime suspect
+	// (a poison cell that crashes worker daemons). The cell surfaces as
+	// the failure at its own grid index instead of riding reconnects
+	// forever.
+	ErrCellPoisoned = errors.New("cell poisoned")
+	// ErrCellPanic reports a work cell whose runner panicked on a worker
+	// daemon. The daemon recovers the panic and keeps serving; the cell
+	// surfaces as an ordinary typed cell failure at its grid index.
+	ErrCellPanic = errors.New("cell runner panicked")
 )
 
 // SimError locates a failure inside the exploration grid: which program,

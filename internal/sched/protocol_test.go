@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"portcc/internal/pcerr"
+	"portcc/internal/wire"
+)
+
+// misbehavingShard is a scripted daemon that speaks the protocol
+// correctly except for the mischief injected per assignment: results
+// for cells it was never assigned, duplicate results, or both. After
+// the mischief it resolves the real assignment, so a robust coordinator
+// completes the grid with the mischief ignored.
+func misbehavingShard(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		conn := wire.NewConn(nc)
+		if err := conn.ServerHello(1, 50*time.Millisecond); err != nil {
+			return
+		}
+		if f, err := conn.Recv(); err != nil || f.Job == nil {
+			return
+		}
+		for {
+			f, err := conn.Recv()
+			if err != nil || f.Assign == nil {
+				return
+			}
+			// Mischief 1: a result for a cell nobody assigned.
+			conn.Send(&wire.Frame{Result: &wire.Result{Index: 9999, Payload: chaosPayload(9999)}})
+			// Mischief 2: a result for an assigned cell... with a wrong
+			// payload, sent twice - only the FIRST (correct) resolution
+			// below may count, and the duplicate must be dropped.
+			for _, c := range f.Assign.Cells {
+				conn.Send(&wire.Frame{Result: &wire.Result{Index: c, Payload: chaosPayload(c)}})
+				conn.Send(&wire.Frame{Result: &wire.Result{Index: c, Payload: -1}})
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestUnassignedAndDuplicateResultsIgnored: a shard streaming results
+// for cells it was never assigned, plus duplicate result frames for
+// cells it was, must not corrupt the grid - every cell is emitted
+// exactly once with the first resolution's payload, and the run
+// completes cleanly.
+func TestUnassignedAndDuplicateResultsIgnored(t *testing.T) {
+	const cells = 10
+	addr := misbehavingShard(t)
+	r := &Remote{Addrs: []string{addr}, DialTimeout: time.Second, Retry: RetryPolicy{MaxAttempts: 1}}
+	col := newCollector()
+	done, err := r.Execute(context.Background(), Job{Spec: chaosSpec{PanicAt: -1}, Cells: cells, Format: 1}, col.emit)
+	if err != nil {
+		t.Fatalf("misbehaving shard failed the run: %v", err)
+	}
+	if done != cells {
+		t.Fatalf("done = %d, want %d", done, cells)
+	}
+	col.verify(t, cells)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if _, ok := col.got[9999]; ok {
+		t.Fatal("a result for a never-assigned cell was emitted")
+	}
+}
+
+// TestAssignBeforeJobClosesConnection: a coordinator that skips the Job
+// frame and assigns straight away is a protocol violation; the daemon
+// must drop that connection without serving it - and keep accepting
+// well-behaved coordinators afterwards.
+func TestAssignBeforeJobClosesConnection(t *testing.T) {
+	addr := startChaosShard(t, chaosServeConfig(1, 50*time.Millisecond), nil)
+
+	nc, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	conn := wire.NewConn(nc)
+	if _, err := conn.ClientHello(1); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	if err := conn.Send(&wire.Frame{Assign: &wire.Assign{Cells: []int{0, 1}}}); err != nil {
+		t.Fatalf("sending premature assign: %v", err)
+	}
+	nc.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if f, err := conn.Recv(); err == nil && !f.Heartbeat {
+		t.Fatalf("daemon answered a premature assign with a %s frame, want connection close", f.Kind())
+	} else if err == nil {
+		// Heartbeats may race the close; the next read must fail.
+		if f2, err2 := conn.Recv(); err2 == nil && !f2.Heartbeat {
+			t.Fatalf("daemon kept serving after a premature assign (%s frame)", f2.Kind())
+		}
+	}
+
+	// The daemon survives the violator: a proper run completes.
+	r := &Remote{Addrs: []string{addr}, DialTimeout: time.Second, Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}}
+	col := newCollector()
+	done, err := r.Execute(context.Background(), Job{Spec: chaosSpec{PanicAt: -1}, Cells: 6, Format: 1}, col.emit)
+	if err != nil || done != 6 {
+		t.Fatalf("daemon did not survive the protocol violator: done=%d err=%v", done, err)
+	}
+	col.verify(t, 6)
+}
+
+// TestUnexpectedFrameIsPermanent: a handshake-passing peer that answers
+// an assignment with a Job frame is speaking nonsense; the coordinator
+// must classify it permanent (no redial) and surface the typed shard
+// failure once no shards remain.
+func TestUnexpectedFrameIsPermanent(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var dials atomic.Int32
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			dials.Add(1)
+			go func(nc net.Conn) {
+				defer nc.Close()
+				conn := wire.NewConn(nc)
+				if err := conn.ServerHello(1, 50*time.Millisecond); err != nil {
+					return
+				}
+				if f, err := conn.Recv(); err != nil || f.Job == nil {
+					return
+				}
+				if f, err := conn.Recv(); err != nil || f.Assign == nil {
+					return
+				}
+				conn.Send(&wire.Frame{Job: &wire.Job{Spec: chaosSpec{}}}) // nonsense
+			}(nc)
+		}
+	}()
+	r := &Remote{Addrs: []string{ln.Addr().String()}, DialTimeout: time.Second,
+		Retry: RetryPolicy{MaxAttempts: 50, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}}
+	_, err = r.Execute(context.Background(), Job{Spec: chaosSpec{PanicAt: -1}, Cells: 4, Format: 1}, func(int, any) {})
+	if !errors.Is(err, pcerr.ErrShardFailure) {
+		t.Fatalf("got %v, want ErrShardFailure", err)
+	}
+	if n := dials.Load(); n > 1 {
+		t.Fatalf("protocol violation was redialled %d times, want permanent failure on the first", n)
+	}
+}

@@ -1,17 +1,24 @@
 // The remote executor: cells ship to portccd worker shards as gob frames
 // over TCP. Each shard connection is one goroutine that repeatedly takes
 // a chunk of the lowest pending cell indices from a shared dispenser,
-// assigns it, and streams the results back; a shard that dies (dial
+// assigns it, and streams the results back. A connection that dies (dial
 // failure, version mismatch, connection error, missed heartbeats) has
-// its unresolved cells requeued onto the survivors, so a shard failure
-// is retried elsewhere before it can surface. Only when every shard is
-// gone with cells still unfinished does Execute report a shard error.
+// its unresolved cells requeued onto the survivors immediately, and the
+// shard's goroutine redials with seeded exponential backoff instead of
+// exiting - so daemon restarts and network blips are absorbed mid-run,
+// and a restarted daemon rejoins the same run. Only when every shard has
+// burned its full retry budget with cells still unfinished does Execute
+// report a shard error. A cell that repeatedly rides dying connections
+// is quarantined as poisoned (it is the prime suspect for crashing the
+// daemons) and surfaces as a typed failure at its own index, preserving
+// the lowest-index-error contract instead of looping under reconnect.
 package sched
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -20,6 +27,65 @@ import (
 	"portcc/internal/pcerr"
 	"portcc/internal/wire"
 )
+
+// RetryPolicy governs how a Remote coordinator treats dying shard
+// connections: how often each shard address is redialled, how redials
+// back off, and when a repeatedly stranded cell is quarantined. The zero
+// value selects the defaults noted on each field.
+type RetryPolicy struct {
+	// MaxAttempts is the number of consecutive failed connections a
+	// shard address is allowed before the shard is abandoned for the
+	// rest of the run (default 3). A connection that resolves at least
+	// one cell refreshes the budget, so a daemon restarted in a loop is
+	// absorbed for as long as it keeps making progress; permanent
+	// failures (version mismatches, refused jobs) are never retried.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first redial (default 100ms);
+	// it doubles per consecutive failure up to MaxBackoff (default 5s),
+	// with seeded jitter in [d/2, d] so shards desynchronise their
+	// redials deterministically.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxStrands is the number of times one cell may be stranded by a
+	// dying connection before the coordinator quarantines it as poisoned
+	// (default 5): the cell then surfaces as a pcerr.ErrCellPoisoned
+	// failure at its own grid index instead of crashing daemons forever.
+	MaxStrands int
+	// Seed seeds the backoff jitter (deterministic per shard index), so
+	// fault-injection tests replay identically.
+	Seed int64
+}
+
+// withDefaults resolves the zero value to the documented defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.MaxStrands <= 0 {
+		p.MaxStrands = 5
+	}
+	return p
+}
+
+// backoffDelay sizes the pause before redial attempt+1: exponential from
+// BaseBackoff, capped at MaxBackoff, jittered into [d/2, d] by the
+// shard's seeded generator.
+func backoffDelay(pol RetryPolicy, rng *rand.Rand, attempt int) time.Duration {
+	d := pol.BaseBackoff
+	for i := 1; i < attempt && d < pol.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > pol.MaxBackoff {
+		d = pol.MaxBackoff
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
 
 // Remote executes a job's cells on worker daemons (cmd/portccd, or any
 // Serve loop) reached over TCP.
@@ -38,6 +104,9 @@ type Remote struct {
 	ChunkSize int
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// Retry is the reconnect/backoff/quarantine policy (zero value =
+	// defaults; see RetryPolicy).
+	Retry RetryPolicy
 }
 
 func (r *Remote) chunkSize() int {
@@ -57,26 +126,28 @@ func (r *Remote) dialTimeout() time.Duration {
 // Execute implements Executor. Cell dispatch is in index order across
 // the shard set; the error contract matches Local's exactly (lowest-
 // indexed cell failure, cancellation left to the caller's ctx check),
-// with one addition: if every shard dies with cells unfinished, the
-// returned error wraps pcerr.ErrShardFailure and the last shard's cause.
+// with two additions: if every shard burns its retry budget with cells
+// unfinished, the returned error wraps pcerr.ErrShardFailure and the
+// last shard's cause; and a cell stranded by too many dying connections
+// fails typed with pcerr.ErrCellPoisoned at its own index.
 func (r *Remote) Execute(ctx context.Context, job Job, emit func(index int, payload any)) (int, error) {
 	if len(r.Addrs) == 0 {
 		return 0, fmt.Errorf("sched: %w: no shard addresses", pcerr.ErrInvalidConfig)
 	}
-	st := newRemoteState(job.Cells, len(r.Addrs))
+	pol := r.Retry.withDefaults()
+	st := newRemoteState(job.Cells, len(r.Addrs), pol.MaxStrands)
 	// A cancelled coordinator must not sit out a heartbeat window: wake
 	// dispenser waiters immediately (blocked reads are poked per
 	// connection below).
 	stop := context.AfterFunc(ctx, st.wake)
 	defer stop()
 	var wg sync.WaitGroup
-	for _, addr := range r.Addrs {
+	for i, addr := range r.Addrs {
 		wg.Add(1)
-		go func(addr string) {
+		go func(shard int, addr string) {
 			defer wg.Done()
-			lost, err := r.serveShard(ctx, st, addr, job, emit)
-			st.shardExit(lost, err)
-		}(addr)
+			r.shardLoop(ctx, st, pol, shard, addr, job, emit)
+		}(i, addr)
 	}
 	wg.Wait()
 	st.mu.Lock()
@@ -91,15 +162,93 @@ func (r *Remote) Execute(ctx context.Context, job Job, emit func(index int, payl
 	return st.done, st.exhausted
 }
 
+// shardLoop drives one shard address for the lifetime of the run:
+// serveShard until it dies, requeue the stranded cells so survivors can
+// take them, back off, redial. The loop ends on a clean grid finish,
+// cancellation, a permanent error (version mismatch, refused job), or
+// an exhausted retry budget - only then does the shard count as gone.
+func (r *Remote) shardLoop(ctx context.Context, st *remoteState, pol RetryPolicy, shard int, addr string, job Job, emit func(int, any)) {
+	// Per-shard jitter stream: deterministic under a fixed Seed, distinct
+	// across shards so their redials spread out.
+	rng := rand.New(rand.NewSource(pol.Seed ^ (int64(shard)+1)*0x6A09E667F3BCC909))
+	attempts := 0
+	for {
+		lost, progressed, err := r.serveShard(ctx, st, addr, job, emit)
+		if err == nil {
+			st.shardExit(nil, nil)
+			return
+		}
+		if progressed {
+			// The address demonstrably hosts a live daemon: refresh the
+			// budget so a restart loop is absorbed for as long as the
+			// shard keeps resolving cells.
+			attempts = 0
+		}
+		attempts++
+		if ctx.Err() != nil || attempts >= pol.MaxAttempts || permanentShardErr(err) {
+			st.shardExit(lost, err)
+			return
+		}
+		// Requeue before sleeping: survivors drain the stranded cells
+		// while this shard backs off, and the stranding counts toward
+		// poison-cell quarantine.
+		st.strand(lost)
+		if !st.sleep(ctx, backoffDelay(pol, rng, attempts)) {
+			// Cancelled or the grid finished without us: nothing to
+			// requeue, but the exit must still balance the live count.
+			st.shardExit(nil, err)
+			return
+		}
+	}
+}
+
+// permanentShardErr reports errors no redial can fix: a shard built
+// against another protocol or dataset schema, a refused job, or a peer
+// that violated the frame protocol after a successful handshake.
+func permanentShardErr(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe) ||
+		errors.Is(err, pcerr.ErrWireVersion) ||
+		errors.Is(err, pcerr.ErrDatasetVersion)
+}
+
+// permanentError marks a shard failure as not worth retrying.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+
+func (e *permanentError) Unwrap() error { return e.err }
+
+// maxHeartbeatGrace caps the dead-shard detection window derived from
+// the daemon's announced heartbeat period: a daemon misconfigured with
+// -heartbeat 10m must not make the coordinator wait most of an hour
+// before declaring it dead and requeueing its cells.
+const maxHeartbeatGrace = 30 * time.Second
+
+// heartbeatGrace turns the daemon's announced heartbeat period into the
+// read/write deadline window: a few missed beats mean the shard is
+// gone, clamped to [1s, maxHeartbeatGrace].
+func heartbeatGrace(hb time.Duration) time.Duration {
+	grace := 4 * hb
+	if grace < time.Second {
+		grace = time.Second
+	}
+	if grace > maxHeartbeatGrace {
+		grace = maxHeartbeatGrace
+	}
+	return grace
+}
+
 // serveShard drives one shard connection until the grid is finished, the
-// context is cancelled, or the shard dies. It returns the cells it had
-// taken but not resolved (for requeueing) and the shard's terminal
-// error, nil for a clean finish.
-func (r *Remote) serveShard(ctx context.Context, st *remoteState, addr string, job Job, emit func(int, any)) ([]int, error) {
+// context is cancelled, or the connection dies. It returns the cells it
+// had taken but not resolved (for requeueing), whether the connection
+// resolved any cell at all (progress refreshes the retry budget), and
+// the connection's terminal error, nil for a clean finish.
+func (r *Remote) serveShard(ctx context.Context, st *remoteState, addr string, job Job, emit func(int, any)) (lostCells []int, progressed bool, err error) {
 	d := net.Dialer{Timeout: r.dialTimeout()}
 	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("sched: shard %s: %w", addr, err)
+		return nil, false, fmt.Errorf("sched: shard %s: %w", addr, err)
 	}
 	defer nc.Close()
 	// Cancellation pokes any blocked read or write on this connection.
@@ -117,16 +266,15 @@ func (r *Remote) serveShard(ctx context.Context, st *remoteState, addr string, j
 	nc.SetDeadline(deadlineFor(ctx, r.dialTimeout()))
 	hb, err := conn.ClientHello(job.Format)
 	if err != nil {
-		return nil, fmt.Errorf("sched: shard %s: %w", addr, err)
+		return nil, false, fmt.Errorf("sched: shard %s: %w", addr, err)
 	}
 	// A live shard proves itself every heartbeat period even when its
-	// cells run long; a few missed beats mean it is gone.
-	grace := 4 * hb
-	if grace < time.Second {
-		grace = time.Second
-	}
+	// cells run long; a few missed beats mean it is gone. The window is
+	// clamped so a misconfigured daemon heartbeat cannot stretch dead-
+	// shard detection into the tens of minutes.
+	grace := heartbeatGrace(hb)
 	if err := conn.Send(&wire.Frame{Job: &wire.Job{Spec: job.Spec}}); err != nil {
-		return nil, fmt.Errorf("sched: shard %s: sending job: %w", addr, err)
+		return nil, false, fmt.Errorf("sched: shard %s: sending job: %w", addr, err)
 	}
 	// The job is through; every read below re-arms per frame and every
 	// assignment write re-arms per chunk, so the handshake deadline
@@ -135,7 +283,7 @@ func (r *Remote) serveShard(ctx context.Context, st *remoteState, addr string, j
 	for {
 		cells := st.take(ctx, r.chunkSize())
 		if cells == nil {
-			return nil, nil
+			return nil, progressed, nil
 		}
 		outstanding := make(map[int]bool, len(cells))
 		for _, c := range cells {
@@ -152,31 +300,36 @@ func (r *Remote) serveShard(ctx context.Context, st *remoteState, addr string, j
 		// forever (its taken cells would never requeue): bound it too.
 		nc.SetWriteDeadline(deadlineFor(ctx, grace))
 		if err := conn.Send(&wire.Frame{Assign: &wire.Assign{Cells: cells}}); err != nil {
-			return lost(), fmt.Errorf("sched: shard %s: assigning cells: %w", addr, err)
+			return lost(), progressed, fmt.Errorf("sched: shard %s: assigning cells: %w", addr, err)
 		}
 		for len(outstanding) > 0 {
 			nc.SetReadDeadline(deadlineFor(ctx, grace))
 			f, err := conn.Recv()
 			if err != nil {
-				return lost(), fmt.Errorf("sched: shard %s: %w", addr, err)
+				return lost(), progressed, fmt.Errorf("sched: shard %s: %w", addr, err)
 			}
 			switch {
 			case f.Heartbeat:
 			case f.Result != nil:
+				// A result for a cell this connection was never assigned
+				// (or already resolved) is dropped: emitting it would
+				// double-count the cell and corrupt the grid.
 				if outstanding[f.Result.Index] {
 					delete(outstanding, f.Result.Index)
+					progressed = true
 					st.complete()
 					emit(f.Result.Index, f.Result.Payload)
 				}
 			case f.CellError != nil:
 				if outstanding[f.CellError.Index] {
 					delete(outstanding, f.CellError.Index)
+					progressed = true
 					st.fail(f.CellError.Index, remoteCellError(f.CellError))
 				}
 			case f.Fail != nil:
-				return lost(), fmt.Errorf("sched: shard %s refused job: %s", addr, f.Fail.Msg)
+				return lost(), progressed, &permanentError{fmt.Errorf("sched: shard %s refused job: %s", addr, f.Fail.Msg)}
 			default:
-				return lost(), fmt.Errorf("sched: shard %s: unexpected %s frame", addr, f.Kind())
+				return lost(), progressed, &permanentError{fmt.Errorf("sched: shard %s: unexpected %s frame", addr, f.Kind())}
 			}
 		}
 	}
@@ -216,6 +369,8 @@ func remoteCellError(ce *wire.CellError) error {
 		inner = &remoteError{msg: ce.Msg, cause: pcerr.ErrUnknownProgram}
 	case wire.CodeInvalidConfig:
 		inner = &remoteError{msg: ce.Msg, cause: pcerr.ErrInvalidConfig}
+	case wire.CodePanic:
+		inner = &remoteError{msg: ce.Msg, cause: pcerr.ErrCellPanic}
 	default:
 		inner = errors.New(ce.Msg)
 	}
@@ -227,8 +382,9 @@ func remoteCellError(ce *wire.CellError) error {
 
 // remoteState is the shared cell dispenser and progress ledger of one
 // Execute call. Cells move pending -> taken (by a shard) -> resolved
-// (completed, failed, or dropped after a lower-index failure); cells
-// taken by a shard that dies move back to pending.
+// (completed, failed, quarantined, or dropped after a lower-index
+// failure); cells taken by a connection that dies move back to pending,
+// with a per-cell strand count deciding quarantine.
 type remoteState struct {
 	mu   sync.Mutex
 	cond sync.Cond
@@ -237,6 +393,9 @@ type remoteState struct {
 	unresolved int   // cells not yet completed, failed, or dropped
 	done       int   // cells completed and emitted
 
+	strands    map[int]int // per cell: dying connections it was assigned to
+	maxStrands int         // strandings before quarantine
+
 	failIdx int
 	failErr error // lowest-indexed cell failure
 
@@ -244,19 +403,27 @@ type remoteState struct {
 	live      int
 	lastErr   error // most recent shard death, for the exhausted wrap
 	exhausted error // set when every shard died with cells unfinished
+
+	finished chan struct{} // closed once the grid resolves or exhausts
 }
 
-func newRemoteState(cells, shards int) *remoteState {
+func newRemoteState(cells, shards, maxStrands int) *remoteState {
 	st := &remoteState{
 		pending:    make([]int, cells),
 		unresolved: cells,
+		strands:    make(map[int]int),
+		maxStrands: maxStrands,
 		shards:     shards,
 		live:       shards,
+		finished:   make(chan struct{}),
 	}
 	for i := range st.pending {
 		st.pending[i] = i
 	}
 	st.cond.L = &st.mu
+	if cells == 0 {
+		st.finish()
+	}
 	return st
 }
 
@@ -264,6 +431,32 @@ func (st *remoteState) wake() {
 	st.mu.Lock()
 	st.cond.Broadcast()
 	st.mu.Unlock()
+}
+
+// finish closes the finished channel exactly once, waking backing-off
+// shard loops. Called with st.mu held.
+func (st *remoteState) finish() {
+	select {
+	case <-st.finished:
+	default:
+		close(st.finished)
+	}
+}
+
+// sleep pauses a shard loop between redial attempts, waking early when
+// the context is cancelled or the grid finishes without it. It reports
+// whether the redial is still worth making.
+func (st *remoteState) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ctx.Err() == nil
+	case <-ctx.Done():
+		return false
+	case <-st.finished:
+		return false
+	}
 }
 
 // adaptChunk sizes one assignment: the full chunk while plenty of work
@@ -286,7 +479,7 @@ func adaptChunk(chunk, remaining, live int) int {
 	return c
 }
 
-// take blocks until cells are available (requeues from dead shards
+// take blocks until cells are available (requeues from dead connections
 // included) and returns up to n of the lowest pending indices - fewer
 // near the tail, where adaptChunk shrinks assignments - or nil when the
 // grid is finished, the run is aborted, or ctx is cancelled.
@@ -346,23 +539,46 @@ func (st *remoteState) dropAboveFailure() {
 	st.pending = keep
 }
 
-// resolve retires n cells and wakes dispenser waiters when the grid
-// finishes. Called with st.mu held.
+// resolve retires n cells and wakes dispenser waiters (and backing-off
+// shard loops) when the grid finishes. Called with st.mu held.
 func (st *remoteState) resolve(n int) {
 	st.unresolved -= n
 	if st.unresolved == 0 {
+		st.finish()
 		st.cond.Broadcast()
 	}
 }
 
-// shardExit retires a shard: its unresolved cells go back to the
-// dispenser (minus any above a recorded failure), and if it was the last
-// live shard with work remaining, the run is marked exhausted.
-func (st *remoteState) shardExit(lost []int, err error) {
+// strand requeues cells stranded by a dying connection whose shard will
+// retry, counting each stranding toward quarantine.
+func (st *remoteState) strand(lost []int) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.strandCells(lost)
+	st.cond.Broadcast()
+}
+
+// strandCells moves stranded cells back to pending - minus any above a
+// recorded failure - after bumping each cell's strand count. A cell
+// stranded maxStrands times is quarantined instead: it has ridden too
+// many dying connections to be innocent, so it fails typed
+// (pcerr.ErrCellPoisoned) at its own index, preserving the lowest-
+// index-error contract. Called with st.mu held.
+func (st *remoteState) strandCells(lost []int) {
+	sort.Ints(lost)
 	for _, c := range lost {
 		if st.failErr != nil && c > st.failIdx {
+			st.resolve(1)
+			continue
+		}
+		st.strands[c]++
+		if st.strands[c] >= st.maxStrands {
+			if st.failErr == nil || c < st.failIdx {
+				st.failIdx = c
+				st.failErr = fmt.Errorf("sched: cell %d: %w: stranded by %d dying shard connections",
+					c, pcerr.ErrCellPoisoned, st.strands[c])
+			}
+			st.dropAboveFailure()
 			st.resolve(1)
 			continue
 		}
@@ -371,13 +587,24 @@ func (st *remoteState) shardExit(lost []int, err error) {
 		copy(st.pending[i+1:], st.pending[i:])
 		st.pending[i] = c
 	}
+}
+
+// shardExit retires a shard for good (clean finish, cancellation,
+// permanent error, or exhausted retry budget): its unresolved cells go
+// back to the dispenser with strand accounting, and if it was the last
+// live shard with work remaining, the run is marked exhausted.
+func (st *remoteState) shardExit(lost []int, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.strandCells(lost)
 	st.live--
 	if err != nil {
 		st.lastErr = err
 	}
 	if st.live == 0 && st.unresolved > 0 && st.exhausted == nil {
-		st.exhausted = fmt.Errorf("sched: %w: all %d shards failed with %d cells unfinished: %w",
+		st.exhausted = fmt.Errorf("sched: %w: all %d shards exhausted their retry budgets with %d cells unfinished: %w",
 			pcerr.ErrShardFailure, st.shards, st.unresolved, st.lastErr)
+		st.finish()
 	}
 	// Requeued cells or the exhausted verdict both concern waiters.
 	st.cond.Broadcast()

@@ -7,7 +7,9 @@ package sched
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -73,14 +75,37 @@ func Serve(ctx context.Context, ln net.Listener, cfg ServeConfig) error {
 	}()
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	var acceptDelay time.Duration
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
 			if ctx.Err() != nil || drained(cfg.Drain) {
 				return nil
 			}
+			// Transient accept failures (EMFILE under fd pressure, an
+			// aborted connection, an interrupted syscall) must not kill a
+			// daemon that is mid-way through serving other coordinators:
+			// back off briefly and keep accepting. Only listener closure
+			// or a permanent error ends the loop.
+			if transientAcceptErr(err) {
+				if acceptDelay < 5*time.Millisecond {
+					acceptDelay = 5 * time.Millisecond
+				} else if acceptDelay *= 2; acceptDelay > time.Second {
+					acceptDelay = time.Second
+				}
+				cfg.logf("accept: %v (retrying in %v)", err, acceptDelay)
+				select {
+				case <-time.After(acceptDelay):
+				case <-ctx.Done():
+					return nil
+				case <-drainChan(cfg.Drain):
+					return nil
+				}
+				continue
+			}
 			return err
 		}
+		acceptDelay = 0
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -90,6 +115,24 @@ func Serve(ctx context.Context, ln net.Listener, cfg ServeConfig) error {
 			cfg.logf("closed %s", nc.RemoteAddr())
 		}()
 	}
+}
+
+// transientAcceptErr classifies Accept failures worth retrying: timeouts
+// and the temporary syscall family (EMFILE/ENFILE fd exhaustion,
+// ECONNABORTED, EINTR) as reported by the net.Error the runtime wraps
+// them in. Listener closure is never transient.
+func transientAcceptErr(err error) bool {
+	if errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		return false
+	}
+	//lint:ignore SA1019 Temporary is exactly the accept-retry predicate
+	// (EMFILE, ENFILE, ECONNABORTED, EINTR, timeouts); the deprecation
+	// targets its vaguer uses.
+	return ne.Timeout() || ne.Temporary()
 }
 
 // drainChan never fires for a nil Drain (a nil channel blocks forever).
@@ -192,7 +235,7 @@ func serveAssign(ctx context.Context, conn *wire.Conn, cfg ServeConfig, run func
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	Run(cctx, cfg.Workers, len(cells), func(slot, i int) error {
-		payload, err := run(slot, cells[i])
+		payload, err := runCellRecovered(cfg, run, slot, cells[i])
 		var sendErr error
 		if err != nil {
 			sendErr = conn.Send(&wire.Frame{CellError: cellError(cells[i], err)})
@@ -205,6 +248,21 @@ func serveAssign(ctx context.Context, conn *wire.Conn, cfg ServeConfig, run func
 		return nil
 	})
 	return ctx.Err() == nil && cctx.Err() == nil
+}
+
+// runCellRecovered runs one cell, converting a panic in the runner into
+// a typed cell error instead of letting it kill the daemon: one bad cell
+// degrades to a CellError frame at its own index while the connection -
+// and every other coordinator's in-flight work - keeps being served. The
+// panic value travels in the error; the stack goes to the daemon log.
+func runCellRecovered(cfg ServeConfig, run func(int, int) (any, error), slot, index int) (payload any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cfg.logf("cell %d panicked: %v\n%s", index, r, debug.Stack())
+			err = fmt.Errorf("%w: cell %d: %v", pcerr.ErrCellPanic, index, r)
+		}
+	}()
+	return run(slot, index)
 }
 
 // cellError flattens a cell failure for the wire, preserving the
@@ -223,6 +281,8 @@ func cellError(index int, err error) *wire.CellError {
 		ce.Code = wire.CodeUnknownProgram
 	case errors.Is(err, pcerr.ErrInvalidConfig):
 		ce.Code = wire.CodeInvalidConfig
+	case errors.Is(err, pcerr.ErrCellPanic):
+		ce.Code = wire.CodePanic
 	}
 	return ce
 }

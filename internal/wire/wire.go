@@ -65,6 +65,10 @@ const (
 	CodeNone = iota
 	CodeUnknownProgram
 	CodeInvalidConfig
+	// CodePanic marks a cell whose runner panicked on the worker; the
+	// daemon recovered and kept serving, degrading the panic to a cell
+	// failure instead of a dead shard.
+	CodePanic
 )
 
 // CellError is one failed cell. Msg is the far side's rendering of the

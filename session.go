@@ -8,6 +8,7 @@ import (
 
 	"portcc/internal/dataset"
 	"portcc/internal/features"
+	"portcc/internal/sched"
 )
 
 // Progress reports completed exploration work cells. Total is fixed for
@@ -34,6 +35,7 @@ type sessionConfig struct {
 	cacheBudget int64
 	progress    func(Progress)
 	shards      []string
+	retry       RetryPolicy
 	naive       bool
 }
 
@@ -46,12 +48,37 @@ func WithWorkers(n int) Option {
 // WithShards distributes Explore and GenerateDataset over portccd worker
 // daemons at the given host:port addresses instead of the local worker
 // pool. The streamed results merge into datasets bit-identical to a
-// local run; cells from a dead shard are requeued onto the survivors,
-// and only when every shard has failed does the run surface an error
-// wrapping ErrShardFailure. Single-run methods (Run, Speedup, ...) stay
-// local. An empty address list keeps execution local.
+// local run; cells from a dead shard connection requeue onto the
+// survivors while the shard is redialled with backoff (see
+// WithShardRetry), and only when every shard has exhausted its retry
+// budget does the run surface an error wrapping ErrShardFailure.
+// Single-run methods (Run, Speedup, ...) stay local. An empty address
+// list keeps execution local.
 func WithShards(addrs ...string) Option {
 	return func(c *sessionConfig) { c.shards = append([]string(nil), addrs...) }
+}
+
+// RetryPolicy governs how a sharded run (WithShards) survives dying
+// worker connections. A dead connection's unfinished cells requeue onto
+// the surviving shards immediately; the coordinator then redials the
+// dead shard with exponential backoff (BaseBackoff doubling up to
+// MaxBackoff, jittered deterministically from Seed) for up to
+// MaxAttempts consecutive fruitless attempts - any completed cell
+// resets the count, so a daemon stuck in a crash/restart loop is
+// re-adopted indefinitely as long as it makes progress. Version
+// mismatches and protocol violations are never retried. A cell that
+// strands MaxStrands dying connections in a row is quarantined: the run
+// fails typed with ErrCellPoisoned at that cell's index instead of
+// burning every shard's budget on it. Zero fields take scheduler
+// defaults (3 attempts, 100ms..5s backoff, 5 strandings).
+type RetryPolicy = sched.RetryPolicy
+
+// WithShardRetry sets the reconnect/quarantine policy of sharded runs.
+// Without it, sharded sessions use the scheduler defaults; with
+// MaxAttempts 1 every connection death permanently removes that shard,
+// restoring the pre-retry behaviour.
+func WithShardRetry(p RetryPolicy) Option {
+	return func(c *sessionConfig) { c.retry = p }
 }
 
 // WithScale selects the sampling scale (trace lengths, dataset sizes) the
