@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	portcc -prog rijndael_e [-il1 4096] [-dl1 32768] [-btb 512] [-model ds.gob] [-flags "..."]
+//	portcc -prog rijndael_e [-il1 4096] [-dl1 32768] [-btb 512]
+//	       [-model model.gob | -dataset ds.gob]
 //
-// Without -model the program is compiled at -O3. With -model, a dataset
-// file (from cmd/trainer) is loaded, the model trained, and the
-// predicted-best passes applied. The tool prints the chosen passes, code
-// size, cycles and the Table 1 counters.
+// Without a model the program is compiled at -O3. With -model, a
+// pre-trained model artifact (from cmd/trainer -model-out) is loaded -
+// no training runs, and profiling reuses the artifact's embedded
+// workload parameters. With -dataset, a dataset file (from cmd/trainer)
+// is loaded and the model trained in-process. Either way the
+// predicted-best passes are applied; the tool prints the chosen passes
+// (including the canonical config key), code size, cycles and the
+// Table 1 counters.
 package main
 
 import (
@@ -31,7 +36,9 @@ func main() {
 	dl1 := flag.Int("dl1", 32<<10, "data cache size in bytes")
 	dl1Assoc := flag.Int("dl1assoc", 32, "data cache associativity")
 	btb := flag.Int("btb", 512, "branch target buffer entries")
-	modelFile := flag.String("model", "", "dataset file to train the model from")
+	var cf cliutil.Flags
+	cf.RegisterModel("pre-trained model artifact (from trainer -model-out)")
+	dsFile := flag.String("dataset", "", "dataset file to train the model from in-process")
 	list := flag.Bool("list", false, "list available benchmark programs")
 	ctx, stop := cliutil.Init("portcc")
 	defer stop()
@@ -53,26 +60,54 @@ func main() {
 		log.Fatal(err)
 	}
 
-	s := portcc.NewSession()
-	cfg := portcc.O3()
+	if cf.Model != "" && *dsFile != "" {
+		log.Fatal("use either -model (artifact) or -dataset (train in-process), not both")
+	}
+
+	var s *portcc.Session
+	var model *portcc.Model
 	how := "-O3 (no model)"
-	if *modelFile != "" {
-		ds, err := portcc.LoadDataset(*modelFile)
+	switch {
+	case cf.Model != "":
+		// The artifact path trains nothing: the model is deserialised,
+		// and the session profiles with the artifact's embedded workload
+		// parameters so the measured features match the training
+		// distribution.
+		m, info, err := portcc.LoadModel(cf.Model)
+		if errors.Is(err, portcc.ErrModelVersion) {
+			log.Fatalf("%v\n(regenerate the artifact with this build's cmd/trainer -model-out)", err)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		s = portcc.NewSession(portcc.WithEvalConfig(portcc.ModelEval(info)))
+		model = m
+		how = "model-predicted passes (pre-trained artifact, one -O3 profile run)"
+	case *dsFile != "":
+		ds, err := portcc.LoadDataset(*dsFile)
 		if errors.Is(err, portcc.ErrDatasetVersion) {
 			log.Fatalf("%v\n(regenerate the file with this build's cmd/trainer)", err)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		model, err := portcc.TrainModel(ds)
+		s = portcc.NewSession(portcc.WithEvalConfig(ds.Cfg.Eval))
+		model, err = portcc.TrainModel(ds)
 		if err != nil {
 			log.Fatal(err)
 		}
+		how = "model-predicted passes (trained in-process, one -O3 profile run)"
+	default:
+		s = portcc.NewSession()
+	}
+
+	cfg := portcc.O3()
+	if model != nil {
+		var err error
 		cfg, err = s.OptimizeFor(ctx, *progName, arch, model)
 		if err != nil {
 			log.Fatal(err)
 		}
-		how = "model-predicted passes (one -O3 profile run)"
 	}
 
 	bin, err := s.Compile(ctx, *progName, cfg)
@@ -95,6 +130,7 @@ func main() {
 	fmt.Printf("target:    %s\n", arch)
 	fmt.Printf("passes:    %s\n", how)
 	fmt.Printf("           %s\n", cfg.String())
+	fmt.Printf("key:       %s\n", cfg.Key())
 	fmt.Printf("code size: %d bytes (%d padding)\n", bin.TotalBytes, bin.PadBytes)
 	fmt.Printf("cycles:    %d   IPC %.3f   speedup vs -O3: %.3fx\n", res.Cycles, res.IPC(), speedup)
 	fmt.Printf("power:     %.1f mW (Cacti-style energy model)\n", res.PowerMW())

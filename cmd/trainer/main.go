@@ -11,10 +11,18 @@
 // cells requeue onto the survivors while the coordinator redials it
 // with backoff - tune with -shard-retries and -shard-backoff).
 //
+// With -model-out the model is additionally trained on the fresh
+// dataset and written as a versioned model artifact - the file
+// cmd/portcc -model, cmd/expgen -model and cmd/portccs serve from
+// without retraining. The artifact embeds the dataset fingerprint and
+// the profiling parameters, so deployments reproduce the training
+// feature distribution.
+//
 // Usage:
 //
-//	trainer -out dataset.gob [-scale small] [-archs N] [-opts N]
-//	        [-extended] [-workers N] [-shards host:port,host:port]
+//	trainer -out dataset.gob [-model-out model.gob] [-scale small]
+//	        [-archs N] [-opts N] [-extended] [-workers N]
+//	        [-shards host:port,host:port]
 //	        [-shard-retries N] [-shard-backoff dur]
 package main
 
@@ -37,6 +45,7 @@ func main() {
 	cf.RegisterShards()
 	cf.RegisterShardRetry()
 	out := flag.String("out", "dataset.gob", "output file")
+	modelOut := flag.String("model-out", "", "also train the model and write it as a versioned artifact")
 	archs := flag.Int("archs", 0, "override architecture sample count")
 	opts := flag.Int("opts", 0, "override optimisation sample count")
 	extended := flag.Bool("extended", false, "use the Section 7 extended space")
@@ -84,4 +93,17 @@ func main() {
 	nP, nA, nO := ds.Dims()
 	fmt.Printf("wrote %s: %d pairs (%d x %d), %d settings each, in %s\n",
 		*out, nP*nA, nP, nA, nO, time.Since(start).Round(time.Second))
+
+	if *modelOut != "" {
+		model, err := portcc.TrainModel(ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := portcc.SaveModel(*modelOut, model, ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d pair models, dataset %.12s...\n",
+			*modelOut, info.Pairs, info.DatasetSHA256)
+	}
 }

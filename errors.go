@@ -22,9 +22,19 @@ var (
 	// not match this build (LoadDataset), or a portccd worker shard
 	// built against a different schema version (WithShards).
 	ErrDatasetVersion = pcerr.ErrDatasetVersion
+	// ErrModelVersion reports a model artifact file whose schema version
+	// does not match this build (LoadModel). Artifacts are regenerated
+	// from their dataset with cmd/trainer -model-out.
+	ErrModelVersion = pcerr.ErrModelVersion
 	// ErrWireVersion reports a portccd worker shard speaking an
 	// incompatible coordinator/worker wire protocol version.
 	ErrWireVersion = pcerr.ErrWireVersion
+	// ErrOverloaded reports a prediction server (internal/serve, served
+	// by cmd/portccs) shedding load: the bounded request queue was full,
+	// the request was refused before any work started (HTTP 429 with a
+	// Retry-After header), and a retry after the advertised delay is
+	// safe.
+	ErrOverloaded = pcerr.ErrOverloaded
 	// ErrShardFailure reports a sharded exploration that ran out of
 	// worker shards: dead connections redial with backoff and their
 	// cells requeue onto survivors, so this surfaces only when every

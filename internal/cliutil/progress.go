@@ -10,18 +10,22 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"portcc/internal/sched"
 )
 
 // Flags is the option set shared by the portcc command-line tools:
-// sampling scale, worker-pool size, and the shard list plus reconnect
-// policy for distributed exploration. Each tool registers the subset it
-// uses and calls Init for the common prologue.
+// sampling scale, worker-pool size, model-artifact path, listen/serve
+// address, and the shard list plus reconnect policy for distributed
+// exploration. Each tool registers the subset it uses and calls Init
+// for the common prologue.
 type Flags struct {
 	Scale        string
 	Workers      int
+	Model        string
+	Addr         string
 	shards       string
 	shardRetries int
 	shardBackoff time.Duration
@@ -35,6 +39,20 @@ func (f *Flags) RegisterScale(def string) {
 // RegisterWorkers installs the shared -workers flag.
 func (f *Flags) RegisterWorkers() {
 	flag.IntVar(&f.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+}
+
+// RegisterModel installs the shared -model flag: the path of a trained
+// model artifact written by cmd/trainer -model-out.
+func (f *Flags) RegisterModel(usage string) {
+	if usage == "" {
+		usage = "trained model artifact (from trainer -model-out)"
+	}
+	flag.StringVar(&f.Model, "model", "", usage)
+}
+
+// RegisterAddr installs the shared -addr flag for serving tools.
+func (f *Flags) RegisterAddr(def string) {
+	flag.StringVar(&f.Addr, "addr", def, "listen address (host:port)")
 }
 
 // RegisterShards installs the shared -shards flag.
@@ -80,14 +98,15 @@ func Init(name string) (context.Context, context.CancelFunc) {
 	return SignalContext()
 }
 
-// SignalContext returns a context cancelled by the first SIGINT, for
-// graceful shutdown: long-running pools drain, and single-shot Session
-// calls stop at their next entry boundary. After the first interrupt the
-// default handler is restored, so a second Ctrl-C force-kills instead of
-// being swallowed while work winds down. The returned stop releases the
-// signal registration.
+// SignalContext returns a context cancelled by the first SIGINT or
+// SIGTERM, for graceful shutdown: long-running pools drain, servers
+// stop accepting and finish in-flight requests, and single-shot Session
+// calls stop at their next entry boundary. After the first signal the
+// default handler is restored, so a second Ctrl-C (or the supervisor's
+// escalation to SIGKILL) force-kills instead of being swallowed while
+// work winds down. The returned stop releases the signal registration.
 func SignalContext() (context.Context, context.CancelFunc) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ctx.Done()
 		stop()

@@ -2,7 +2,9 @@ package dataset
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"math/rand"
@@ -247,11 +249,37 @@ func (d *Dataset) Save(path string) error {
 		return err
 	}
 	defer f.Close()
-	enc := gob.NewEncoder(f)
+	return d.encode(f)
+}
+
+// encode writes the canonical file byte stream: header, then dataset.
+func (d *Dataset) encode(w io.Writer) error {
+	enc := gob.NewEncoder(w)
 	if err := enc.Encode(fileHeader{Magic: fileMagic, Version: FormatVersion}); err != nil {
 		return err
 	}
 	return enc.Encode(d)
+}
+
+// Fingerprint returns the hex sha256 of the dataset's canonical Save
+// byte stream - identical to hashing a file written by Save, without
+// touching disk. Model artifacts embed it so a trained model is
+// traceable to the exact dataset it was fitted on, and consumers can
+// verify a dataset/artifact pairing before mixing them.
+func (d *Dataset) Fingerprint() (string, error) {
+	h := sha256.New()
+	if err := d.encode(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Describe returns a one-line canonical description of the generation
+// config, embedded in model artifacts for human inspection.
+func (cfg GenConfig) Describe() string {
+	return fmt.Sprintf("%d programs x %d archs x %d opts, extended=%v, seed=%d, eval={target=%d max=%d seed=%d}",
+		len(cfg.Programs), cfg.NumArchs, cfg.NumOpts, cfg.Extended, cfg.Seed,
+		cfg.Eval.TargetInsns, cfg.Eval.MaxInsns, cfg.Eval.Seed)
 }
 
 // Load reads a dataset written by Save. Files without a matching header -

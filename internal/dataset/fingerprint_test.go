@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFingerprintMatchesSaveFile pins that Fingerprint hashes exactly
+// the canonical Save byte stream: the digest of a saved file equals the
+// in-memory fingerprint, so a model artifact's embedded DatasetSHA256
+// can be checked against either form of the dataset.
+func TestFingerprintMatchesSaveFile(t *testing.T) {
+	ds, err := Generate(context.Background(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := ds.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.gob")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != fp {
+		t.Fatalf("Fingerprint() = %s, but sha256(Save file) = %s", fp, got)
+	}
+	// Stability within a process.
+	fp2, err := ds.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 != fp {
+		t.Fatalf("Fingerprint unstable: %s then %s", fp, fp2)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	cfg := tinyConfig()
+	got := cfg.Describe()
+	want := "3 programs x 3 archs x 10 opts, extended=false, seed=21, eval={target=6000 max=0 seed=1}"
+	if got != want {
+		t.Fatalf("Describe() = %q, want %q", got, want)
+	}
+}

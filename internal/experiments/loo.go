@@ -46,6 +46,16 @@ func PredictWith(ctx context.Context, ds *dataset.Dataset, k int, beta float64, 
 	model := ml.Train(pairs)
 	model.KNeighbours = k
 	model.BetaValue = beta
+	return PredictWithModel(ctx, ds, model, workers)
+}
+
+// PredictWithModel is PredictWith with an already-trained model (for
+// example one loaded from a trainer -model-out artifact): no ml.Train
+// call runs. Leave-one-out exclusion still holds - the model carries
+// every training pair and the held-out (program, arch) is excluded per
+// prediction - so the model must have been trained on this dataset
+// (compare the artifact's dataset fingerprint before calling).
+func PredictWithModel(ctx context.Context, ds *dataset.Dataset, model *ml.Model, workers int) (*Predictions, error) {
 	nP, _, _ := ds.Dims()
 	pr := &Predictions{
 		DS:      ds,

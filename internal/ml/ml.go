@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"portcc/internal/features"
 	"portcc/internal/opt"
@@ -163,9 +164,18 @@ type Model struct {
 	BetaValue   float64
 }
 
+// trainCalls counts Train invocations process-wide. Pre-trained
+// artifacts exist so deployment paths never retrain; TrainCalls lets
+// tests pin that contract instead of trusting code inspection.
+var trainCalls atomic.Int64
+
+// TrainCalls returns how many times Train has run in this process.
+func TrainCalls() int64 { return trainCalls.Load() }
+
 // Train builds a model from training pairs: the feature normaliser is
 // estimated and frozen from the training set.
 func Train(pairs []TrainingPair) *Model {
+	trainCalls.Add(1)
 	vecs := make([][]float64, len(pairs))
 	for i := range pairs {
 		vecs[i] = pairs[i].X

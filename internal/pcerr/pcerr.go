@@ -20,9 +20,18 @@ var (
 	// not match this build (including pre-versioning and foreign files),
 	// or a worker shard built against a different schema version.
 	ErrDatasetVersion = errors.New("dataset schema version mismatch")
+	// ErrModelVersion reports a model artifact file whose schema version
+	// does not match this build (including pre-versioning and foreign
+	// files). Artifacts are regenerated from their dataset with
+	// cmd/trainer -model-out.
+	ErrModelVersion = errors.New("model artifact version mismatch")
 	// ErrWireVersion reports a worker shard speaking an incompatible
 	// coordinator/worker wire protocol version.
 	ErrWireVersion = errors.New("wire protocol version mismatch")
+	// ErrOverloaded reports a prediction server shedding load: admission
+	// control found the bounded request queue full. The request was
+	// refused before any work started; retry after the advertised delay.
+	ErrOverloaded = errors.New("server overloaded")
 	// ErrShardFailure reports distributed exploration that ran out of
 	// worker shards: a dead shard's cells are requeued onto survivors and
 	// dead connections are redialled with backoff, so this surfaces only

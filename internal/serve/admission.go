@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+
+	"portcc/internal/pcerr"
+)
+
+// gate is the bounded-admission front door: at most maxInFlight
+// predictions execute concurrently, at most maxQueue more wait for a
+// slot, and everything beyond that is shed immediately with
+// pcerr.ErrOverloaded - the server refuses cheaply at the edge instead
+// of building an unbounded backlog whose requests would all time out
+// together. Shedding happens before any request work, so a shed request
+// has no side effects and is always safe to retry.
+type gate struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newGate(maxInFlight, maxQueue int) *gate {
+	return &gate{slots: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims an execution slot, queueing within the bound. It
+// returns pcerr.ErrOverloaded when the queue is full and ctx.Err when
+// the caller gave up waiting.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return pcerr.ErrOverloaded
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot.
+func (g *gate) release() { <-g.slots }
+
+// inFlight returns how many slots are currently held.
+func (g *gate) inFlight() int { return len(g.slots) }
+
+// queueDepth returns how many requests are waiting for a slot.
+func (g *gate) queueDepth() int64 { return g.queued.Load() }

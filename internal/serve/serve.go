@@ -1,0 +1,489 @@
+// Package serve is the prediction front door of the repo: an always-on
+// HTTP JSON server (cmd/portccs) that answers "which optimisation
+// settings should this program use on this microarchitecture?" from a
+// pre-trained, versioned model artifact - the paper's Figure 2
+// deployment path as a service.
+//
+// The serving stack has three concerns, each bounded:
+//
+//   - Models are loaded from ml artifacts through a warm in-memory
+//     Registry that hot-reloads when the file changes on disk
+//     (throttled mtime check, content-fingerprint compare), so a
+//     retrain deploys by atomically replacing one file - no restart.
+//
+//   - Feature vectors - one -O3 profiling run each, the expensive half
+//     of a prediction - are memoised in an LRU cache keyed by
+//     (program, microarchitecture) with single-flighted misses, so the
+//     recurring queries of a fleet cost microseconds, not simulations.
+//
+//   - Admission control bounds concurrent predictions and the waiting
+//     queue; excess load is shed immediately with HTTP 429 and a
+//     Retry-After header (typed pcerr.ErrOverloaded internally) before
+//     any work starts, and /metrics exposes Prometheus-text counters,
+//     latency histograms, cache ratios and queue depths for the whole
+//     pipeline.
+//
+// Endpoints: POST /v1/predict (program name or raw feature vector,
+// plus a microarchitecture description), GET /healthz, GET /metrics.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"portcc/internal/dataset"
+	"portcc/internal/features"
+	"portcc/internal/ml"
+	"portcc/internal/opt"
+	"portcc/internal/pcerr"
+	"portcc/internal/serve/metrics"
+	"portcc/internal/uarch"
+)
+
+// Config describes a prediction server.
+type Config struct {
+	// ModelPath is the model artifact to serve (required). The file is
+	// re-checked on a ReloadEvery throttle and hot-reloaded on change.
+	ModelPath string
+	// Eval overrides the profiling workload parameters. The zero value
+	// (recommended) adopts the parameters embedded in the artifact, which
+	// keeps served feature vectors comparable to the training
+	// distribution.
+	Eval dataset.EvalConfig
+	// CacheEntries bounds the (program, uarch) feature cache
+	// (default 1024 entries).
+	CacheEntries int
+	// MaxInFlight bounds concurrently executing predictions
+	// (default GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds predictions waiting for an execution slot; beyond
+	// it requests are shed with 429 (default 4x MaxInFlight).
+	MaxQueue int
+	// RetryAfter is the advisory Retry-After delay on shed responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// ReloadEvery throttles artifact staleness checks (default 1s).
+	ReloadEvery time.Duration
+	// Logf receives operational log lines (default: discard).
+	Logf func(string, ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.ReloadEvery <= 0 {
+		c.ReloadEvery = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the HTTP prediction service. Create with New, expose with
+// Handler, and drain by shutting down the enclosing http.Server - the
+// Server itself owns no goroutines, so once in-flight handlers return
+// nothing lingers.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	cache *featureCache
+	gate  *gate
+	ev    *dataset.Evaluator
+	eval  dataset.EvalConfig
+	mux   *http.ServeMux
+
+	reg2        *metrics.Registry
+	mRequests   *metrics.CounterVec
+	mLatency    *metrics.Histogram
+	mShed       *metrics.Counter
+	mCacheHit   *metrics.Counter
+	mCacheMiss  *metrics.Counter
+	mReloads    *metrics.CounterVec
+	mInFlight   *metrics.Gauge
+	mQueueDepth *metrics.Gauge
+
+	// testHookAdmitted, when non-nil, runs after admission and before
+	// any prediction work - tests park it to hold slots occupied.
+	testHookAdmitted func()
+}
+
+// New builds a server and eagerly loads the model artifact, failing
+// fast on a missing or version-mismatched file.
+func New(cfg Config) (*Server, error) {
+	if cfg.ModelPath == "" {
+		return nil, fmt.Errorf("serve: %w: ModelPath is required", pcerr.ErrInvalidConfig)
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newFeatureCache(cfg.CacheEntries),
+		gate:  newGate(cfg.MaxInFlight, cfg.MaxQueue),
+	}
+	s.initMetrics()
+	s.reg = NewRegistry(cfg.ReloadEvery, s.acceptModel, func(outcome string) { s.mReloads.Inc(outcome) }, cfg.Logf)
+	loaded, err := s.reg.Get(cfg.ModelPath)
+	if err != nil {
+		return nil, err
+	}
+	s.eval = cfg.Eval
+	if s.eval == (dataset.EvalConfig{}) {
+		s.eval = evalFromInfo(loaded.Info)
+	} else if s.eval != evalFromInfo(loaded.Info) {
+		cfg.Logf("profiling parameters %+v override the artifact's %+v: served features will differ from the training distribution", s.eval, evalFromInfo(loaded.Info))
+	}
+	s.ev = dataset.NewEvaluator(s.eval)
+	s.initEvalMetrics()
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// evalFromInfo reconstructs the profiling parameters embedded in an
+// artifact.
+func evalFromInfo(info ml.ArtifactInfo) dataset.EvalConfig {
+	return dataset.EvalConfig{
+		TargetInsns: info.EvalTargetInsns,
+		MaxInsns:    info.EvalMaxInsns,
+		Seed:        info.EvalSeed,
+	}
+}
+
+// acceptModel gates hot-reloaded artifacts: a replacement trained with
+// different profiling parameters would make cached and future feature
+// vectors incomparable to its training distribution, so it is rejected
+// (the server keeps serving the old model; deploy such a change with a
+// restart instead).
+func (s *Server) acceptModel(next, cur *Loaded) error {
+	if cur == nil {
+		return nil // first load establishes the parameters
+	}
+	if evalFromInfo(next.Info) != evalFromInfo(cur.Info) {
+		return fmt.Errorf("serve: %w: artifact profiling parameters changed %+v -> %+v; restart to adopt them",
+			pcerr.ErrInvalidConfig, evalFromInfo(cur.Info), evalFromInfo(next.Info))
+	}
+	return nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics registry (for embedding).
+func (s *Server) Metrics() *metrics.Registry { return s.reg2 }
+
+// Stats returns the profiling evaluator's work ledger.
+func (s *Server) Stats() dataset.Stats { return s.ev.Stats() }
+
+func (s *Server) initMetrics() {
+	r := metrics.NewRegistry()
+	s.reg2 = r
+	s.mRequests = r.CounterVec("portccs_requests_total",
+		"Prediction requests by outcome.", "outcome")
+	s.mLatency = r.Histogram("portccs_request_seconds",
+		"Prediction request latency in seconds.", nil)
+	s.mShed = r.Counter("portccs_load_shed_total",
+		"Requests refused with 429 because the admission queue was full.")
+	s.mCacheHit = r.Counter("portccs_feature_cache_hits_total",
+		"Predictions served from the (program, uarch) feature cache.")
+	s.mCacheMiss = r.Counter("portccs_feature_cache_misses_total",
+		"Predictions that ran an -O3 profiling simulation.")
+	s.mReloads = r.CounterVec("portccs_model_reloads_total",
+		"Model artifact reload attempts by outcome.", "outcome")
+	r.CounterFunc("portccs_feature_cache_entries",
+		"Resident feature-cache entries.", func() float64 { return float64(s.cache.len()) })
+	s.mInFlight = r.Gauge("portccs_inflight", "Predictions currently executing.")
+	s.mQueueDepth = r.Gauge("portccs_queue_depth", "Predictions waiting for an execution slot.")
+}
+
+// initEvalMetrics bridges the evaluator's work ledger into /metrics;
+// split from initMetrics because the evaluator exists only after the
+// first model load fixes the profiling parameters.
+func (s *Server) initEvalMetrics() {
+	stat := func(pick func(dataset.Stats) float64) func() float64 {
+		return func() float64 { return pick(s.ev.Stats()) }
+	}
+	s.reg2.CounterFunc("portccs_eval_compiles_total",
+		"Profiling compilations performed.", stat(func(st dataset.Stats) float64 { return float64(st.Compiles) }))
+	s.reg2.CounterFunc("portccs_eval_simulations_total",
+		"Profiling simulations performed.", stat(func(st dataset.Stats) float64 { return float64(st.Simulations) }))
+	s.reg2.CounterFunc("portccs_eval_trace_gens_total",
+		"Traces generated by the profiling evaluator.", stat(func(st dataset.Stats) float64 { return float64(st.TraceGens) }))
+	s.reg2.CounterFunc("portccs_eval_trace_events_total",
+		"Dynamic instructions emitted into profiling traces.", stat(func(st dataset.Stats) float64 { return float64(st.TraceEvents) }))
+}
+
+// ArchSpec is the JSON microarchitecture description of a predict
+// request. Zero fields default to the XScale reference values, so a
+// request only names what it varies.
+type ArchSpec struct {
+	IL1Size  int `json:"il1_size,omitempty"`
+	IL1Assoc int `json:"il1_assoc,omitempty"`
+	IL1Block int `json:"il1_block,omitempty"`
+	DL1Size  int `json:"dl1_size,omitempty"`
+	DL1Assoc int `json:"dl1_assoc,omitempty"`
+	DL1Block int `json:"dl1_block,omitempty"`
+	BTBSize  int `json:"btb_size,omitempty"`
+	BTBAssoc int `json:"btb_assoc,omitempty"`
+	FreqMHz  int `json:"freq_mhz,omitempty"`
+	Width    int `json:"width,omitempty"`
+}
+
+// Arch resolves the spec against the XScale defaults and validates it.
+func (a ArchSpec) Arch() (uarch.Config, error) {
+	c := uarch.XScale()
+	set := func(dst *int, v int) {
+		if v != 0 {
+			*dst = v
+		}
+	}
+	set(&c.IL1Size, a.IL1Size)
+	set(&c.IL1Assoc, a.IL1Assoc)
+	set(&c.IL1Block, a.IL1Block)
+	set(&c.DL1Size, a.DL1Size)
+	set(&c.DL1Assoc, a.DL1Assoc)
+	set(&c.DL1Block, a.DL1Block)
+	set(&c.BTBSize, a.BTBSize)
+	set(&c.BTBAssoc, a.BTBAssoc)
+	set(&c.FreqMHz, a.FreqMHz)
+	set(&c.Width, a.Width)
+	return c, c.Validate()
+}
+
+// PredictRequest is the body of POST /v1/predict. Exactly one of
+// Program or Features must be set: Program profiles the named benchmark
+// at -O3 on Arch (cached), Features supplies a pre-measured vector
+// x = (d, c) directly (Arch then only annotates the response).
+type PredictRequest struct {
+	Program  string    `json:"program,omitempty"`
+	Features []float64 `json:"features,omitempty"`
+	Arch     *ArchSpec `json:"arch,omitempty"`
+}
+
+// DimMixture is one optimisation dimension of the predictive mixture
+// q(y|x): the distribution over the dimension's values.
+type DimMixture struct {
+	Dim   string    `json:"dim"`
+	Probs []float64 `json:"probs"`
+}
+
+// PredictResponse is the body of a successful prediction.
+type PredictResponse struct {
+	Program string `json:"program,omitempty"`
+	Arch    string `json:"arch,omitempty"`
+	// ConfigKey is the canonical encoding of the predicted-best setting
+	// (opt.Config.Key); ConfigGCC the human-readable gcc-style flags.
+	ConfigKey string `json:"config_key"`
+	ConfigGCC string `json:"config_gcc"`
+	// Mixture is the per-dimension predictive distribution the mode was
+	// taken from (equation 1 of the paper).
+	Mixture []DimMixture `json:"mixture"`
+	// Cached reports that the feature vector came from the cache - no
+	// profiling simulation ran for this request.
+	Cached bool `json:"cached"`
+	// ModelDatasetSHA256 names the training dataset of the model that
+	// answered, for end-to-end traceability.
+	ModelDatasetSHA256 string `json:"model_dataset_sha256"`
+}
+
+// errorResponse is the JSON error body; Code is machine-readable.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+	// RetryAfterMS accompanies code "overloaded".
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	outcome := "ok"
+	defer func() {
+		s.mRequests.Inc(outcome)
+		s.mLatency.Observe(time.Since(start).Seconds())
+	}()
+
+	if err := s.gate.acquire(r.Context()); err != nil {
+		if errors.Is(err, pcerr.ErrOverloaded) {
+			outcome = "overloaded"
+			s.mShed.Inc()
+			w.Header().Set("Retry-After", strconv.FormatInt(int64(s.cfg.RetryAfter/time.Second), 10))
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{
+				Error: err.Error(), Code: "overloaded",
+				RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+			})
+			return
+		}
+		outcome = "canceled"
+		writeJSON(w, statusClientClosedRequest, errorResponse{Error: err.Error(), Code: "canceled"})
+		return
+	}
+	defer s.gate.release()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		outcome = "bad_request"
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	resp, status, errResp := s.predict(&req)
+	if errResp != nil {
+		outcome = errResp.Code
+		writeJSON(w, status, *errResp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away while the request waited for an admission slot.
+const statusClientClosedRequest = 499
+
+// predict resolves features, queries the model, and shapes the
+// response. It returns either a response or an error body plus status.
+func (s *Server) predict(req *PredictRequest) (*PredictResponse, int, *errorResponse) {
+	loaded, err := s.reg.Get(s.cfg.ModelPath)
+	if err != nil {
+		return nil, http.StatusServiceUnavailable, &errorResponse{Error: "model unavailable: " + err.Error(), Code: "no_model"}
+	}
+	resp := &PredictResponse{ModelDatasetSHA256: loaded.Info.DatasetSHA256}
+
+	var x []float64
+	switch {
+	case req.Program != "" && req.Features != nil:
+		return nil, http.StatusBadRequest, &errorResponse{Error: "set either program or features, not both", Code: "bad_request"}
+	case req.Features != nil:
+		if len(req.Features) != features.Dim {
+			return nil, http.StatusBadRequest, &errorResponse{
+				Error: fmt.Sprintf("feature vector has %d dimensions, want %d", len(req.Features), features.Dim),
+				Code:  "bad_request",
+			}
+		}
+		x = req.Features
+		if req.Arch != nil {
+			arch, err := req.Arch.Arch()
+			if err != nil {
+				return nil, http.StatusBadRequest, &errorResponse{Error: err.Error(), Code: "bad_request"}
+			}
+			resp.Arch = arch.String()
+		}
+	case req.Program != "":
+		if req.Arch == nil {
+			return nil, http.StatusBadRequest, &errorResponse{Error: "program prediction needs an arch to profile on", Code: "bad_request"}
+		}
+		arch, err := req.Arch.Arch()
+		if err != nil {
+			return nil, http.StatusBadRequest, &errorResponse{Error: err.Error(), Code: "bad_request"}
+		}
+		resp.Program, resp.Arch = req.Program, arch.String()
+		key := req.Program + "|" + arch.String()
+		var hit bool
+		x, hit, err = s.cache.get(key, func() ([]float64, error) {
+			o3 := opt.O3()
+			res, err := s.ev.Run(req.Program, &o3, arch)
+			if err != nil {
+				return nil, err
+			}
+			return features.Vector(arch, &res), nil
+		})
+		if err != nil {
+			if errors.Is(err, pcerr.ErrUnknownProgram) {
+				return nil, http.StatusNotFound, &errorResponse{Error: err.Error(), Code: "unknown_program"}
+			}
+			return nil, http.StatusInternalServerError, &errorResponse{Error: err.Error(), Code: "error"}
+		}
+		resp.Cached = hit
+		if hit {
+			s.mCacheHit.Inc()
+		} else {
+			s.mCacheMiss.Inc()
+		}
+	default:
+		return nil, http.StatusBadRequest, &errorResponse{Error: "set program or features", Code: "bad_request"}
+	}
+
+	mix := loaded.Model.Mixture(x)
+	cfg := mix.Mode()
+	resp.ConfigKey = cfg.Key()
+	resp.ConfigGCC = cfg.String()
+	resp.Mixture = mixtureDims(&mix)
+	return resp, http.StatusOK, nil
+}
+
+// mixtureDims flattens the mixture into named per-dimension
+// distributions, each trimmed to its dimension's true value count.
+func mixtureDims(mix *ml.Dist) []DimMixture {
+	out := make([]DimMixture, opt.NumDims)
+	for l := 0; l < opt.NumDims; l++ {
+		probs := make([]float64, opt.DimSize(l))
+		copy(probs, mix.Theta[l][:opt.DimSize(l)])
+		out[l] = DimMixture{Dim: opt.DimName(l), Probs: probs}
+	}
+	return out
+}
+
+// healthzResponse is the body of GET /healthz.
+type healthzResponse struct {
+	Status string `json:"status"`
+	// ModelSHA256 fingerprints the artifact file in service;
+	// DatasetSHA256 the dataset it was trained from.
+	ModelSHA256   string `json:"model_sha256"`
+	DatasetSHA256 string `json:"dataset_sha256"`
+	Pairs         int    `json:"pairs"`
+	TrainConfig   string `json:"train_config"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	loaded, err := s.reg.Get(s.cfg.ModelPath)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), Code: "no_model"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		ModelSHA256:   loaded.SHA256,
+		DatasetSHA256: loaded.Info.DatasetSHA256,
+		Pairs:         loaded.Info.Pairs,
+		TrainConfig:   loaded.Info.TrainConfig,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncGauges()
+	body, ctype := s.reg2.Expose()
+	w.Header().Set("Content-Type", ctype)
+	w.Write([]byte(body))
+}
+
+// syncGauges refreshes the point-in-time gauges before a scrape.
+func (s *Server) syncGauges() {
+	s.mInFlight.Set(int64(s.gate.inFlight()))
+	s.mQueueDepth.Set(s.gate.queueDepth())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -32,6 +32,8 @@ type sessionConfig struct {
 	workers     int
 	scale       Scale
 	scaleSet    bool
+	eval        dataset.EvalConfig
+	evalSet     bool
 	cacheBudget int64
 	progress    func(Progress)
 	shards      []string
@@ -151,9 +153,17 @@ func NewSession(opts ...Option) *Session {
 }
 
 // evalConfig derives the evaluator workload parameters from the options:
-// the scale's derivation (via genConfig, the single source) when a scale
-// was chosen, full-length default traces otherwise.
+// an explicit WithEvalConfig wins (deploying a pre-trained artifact must
+// profile with the training parameters), then the scale's derivation
+// (via genConfig, the single source), then full-length default traces.
 func (s *Session) evalConfig() dataset.EvalConfig {
+	if s.cfg.evalSet {
+		e := s.cfg.eval
+		if e.CacheBudget == 0 {
+			e.CacheBudget = s.cfg.cacheBudget
+		}
+		return e
+	}
 	if s.cfg.scaleSet {
 		return s.genConfig(false).Eval
 	}
