@@ -7,17 +7,35 @@
 // BENCH_generate.json is produced at -scale small, the compile+trace-
 // dominated regime the batched engine targets.
 //
+// Alongside the generation timings, benchgen measures the batched
+// replay engine itself on the Section 7 extended space (width 1-2,
+// where the dual-issue closed forms apply): one fixed gs trace replayed
+// over -ext-archs sampled extended configurations, batched at one
+// sweep worker versus a per-configuration cpu.Simulate loop, reported
+// as Mevc/s (millions of event x config per second) and as the
+// extended_speedup ratio. With -multicore N the batched replay is
+// repeated at GOMAXPROCS=N with the sweep fanned over N workers, the
+// gomaxprocs>1 record of the same engine.
+//
 // Usage:
 //
 //	benchgen [-scale small] [-runs 3] [-out BENCH_generate.json]
-//	         [-check BENCH_generate.json [-check-slack 0.10]]
+//	         [-ext-archs 200] [-multicore N [-multicore-comment ...]]
+//	         [-check BENCH_generate.json [-check-slack 0.10]
+//	          [-check-slack-extended 0.40] [-check-slack-multicore 0.35]]
 //	         [-tiny-speedup X] [-baseline-seconds S [-baseline-comment ...]]
+//	         [-cpuprofile file] [-memprofile file]
 //
 // With -check, the measured naive/batched speedup is gated against a
 // committed benchgen JSON (its own speedup at the same scale, or its
 // tiny_speedup reference when running at tiny scale) and the process
 // fails on a regression beyond the slack - the CI bench job's
-// machine-portable regression gate.
+// machine-portable regression gate. The extended_speedup ratio is gated
+// the same way at any scale (the replay workload is fixed, not scaled),
+// and the multicore ratio is gated with its own wider slack when the
+// run and the reference used the same -multicore value: wall-clock
+// ratios across GOMAXPROCS settings are scheduling-sensitive, and on a
+// single-core box the honest ratio is ~1.0 however many workers spin.
 package main
 
 import (
@@ -28,13 +46,21 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
 	"time"
 
+	"portcc/internal/cliutil"
+	"portcc/internal/core"
+	"portcc/internal/cpu"
 	"portcc/internal/dataset"
 	"portcc/internal/experiments"
+	"portcc/internal/opt"
+	"portcc/internal/prog"
+	"portcc/internal/trace"
+	"portcc/internal/uarch"
 )
 
 // result is the JSON document benchgen emits.
@@ -74,6 +100,24 @@ type result struct {
 	// so a committed small-scale file also carries the reference the CI
 	// tiny-scale smoke gates against with -check.
 	TinySpeedup float64 `json:"tiny_speedup,omitempty"`
+	// Extended-space replay record: one fixed gs trace (the bench_test.go
+	// workload) replayed over ExtArchs sampled Section 7 configurations,
+	// batched with one sweep worker vs a per-configuration cpu.Simulate
+	// loop. The Mevc/s figures are machine-bound; the speedup ratio is
+	// same-machine same-run and gates like the generation speedups.
+	ExtArchs       int     `json:"extended_archs,omitempty"`
+	ExtTraceEvents int64   `json:"extended_trace_events,omitempty"`
+	ExtSeqMevcs    float64 `json:"extended_sequential_mevcs,omitempty"`
+	ExtBatchMevcs  float64 `json:"extended_batched_mevcs,omitempty"`
+	ExtSpeedup     float64 `json:"extended_speedup,omitempty"`
+	// Multi-core record (-multicore N): the same batched extended replay
+	// at GOMAXPROCS=N with the sweep fanned over N workers, and its
+	// wall-clock ratio over the one-worker batched run above. The results
+	// are bit-identical at every worker count; only the schedule moves.
+	MCProcs   int     `json:"multicore_gomaxprocs,omitempty"`
+	MCMevcs   float64 `json:"multicore_batched_mevcs,omitempty"`
+	MCSpeedup float64 `json:"multicore_speedup,omitempty"`
+	MCComment string  `json:"multicore_comment,omitempty"`
 }
 
 // loadResult reads a previously written benchgen JSON document.
@@ -88,6 +132,8 @@ func loadResult(path string) (result, error) {
 }
 
 func main() {
+	var cf cliutil.Flags
+	cf.RegisterProfile()
 	scaleName := flag.String("scale", "small", "scale to measure (tiny|small|medium|paper)")
 	runs := flag.Int("runs", 3, "timed runs per path (median reported)")
 	out := flag.String("out", "BENCH_generate.json", "output JSON path")
@@ -95,9 +141,19 @@ func main() {
 	baselineNote := flag.String("baseline-comment", "", "how the external baseline was measured")
 	counters := flag.Bool("counters", true, "report batch work counters (costs one extra untimed single-worker pass over the grid)")
 	tinySpeedup := flag.Float64("tiny-speedup", 0, "same-machine tiny-scale speedup to record alongside this entry (reference for -check)")
+	extArchs := flag.Int("ext-archs", 200, "extended-space configurations in the replay-engine measurement (0 skips it)")
+	multicore := flag.Int("multicore", 0, "repeat the batched extended replay at this GOMAXPROCS with matching sweep workers (0 skips it)")
+	multicoreNote := flag.String("multicore-comment", "", "how the multicore record should be read (e.g. vCPU count of the measuring box)")
 	check := flag.String("check", "", "committed benchgen JSON to regression-check the measured speedup against (CI gate)")
 	checkSlack := flag.Float64("check-slack", 0.10, "fraction the speedup may fall below the -check reference before failing")
+	checkSlackExt := flag.Float64("check-slack-extended", 0.40, "slack for the extended replay ratio (a 10x-class ratio moves more across boxes and runs than the generation ratio; losing the closed forms would drop it to ~2.5x, far below any slack)")
+	checkSlackMC := flag.Float64("check-slack-multicore", 0.35, "slack for the multicore ratio (scheduling noise dwarfs the single-run slack)")
 	flag.Parse()
+	stopProfiles, err := cf.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	scale, ok := experiments.ScaleByName(*scaleName)
 	if !ok {
@@ -179,8 +235,12 @@ func main() {
 	if !r.Identical {
 		log.Fatal("naive and batched datasets differ - refusing to write benchmark results")
 	}
+	if *extArchs > 0 {
+		measureReplay(&r, *runs, *extArchs, *multicore)
+		r.MCComment = *multicoreNote
+	}
 	if *check != "" {
-		if err := checkRegression(r, *check, *checkSlack); err != nil {
+		if err := checkRegression(r, *check, *checkSlack, *checkSlackExt, *checkSlackMC); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -207,7 +267,16 @@ func main() {
 // the committed entry's own speedup when the scales match, or its
 // recorded tiny_speedup when this run is at tiny scale (how CI uses it
 // against the small-scale committed file).
-func checkRegression(r result, path string, slack float64) error {
+//
+// Two further gates apply when both the run and the reference carry the
+// corresponding records. The extended-replay speedup gates regardless
+// of -scale (its workload is fixed, not scaled) at its own wider slack:
+// a 10x-class ratio swings more across microarchitectures than the
+// generation ratio does. The multicore ratio gates at a wider slack
+// still, and only when the run and the reference used the same
+// -multicore value: a ratio measured at a different worker count is a
+// different experiment.
+func checkRegression(r result, path string, slack, slackExt, slackMC float64) error {
 	ref, err := loadResult(path)
 	if err != nil {
 		return fmt.Errorf("-check: %w", err)
@@ -229,7 +298,93 @@ func checkRegression(r result, path string, slack float64) error {
 	}
 	fmt.Printf("check ok: speedup %.3f >= %.3f (reference %.3f, slack %.0f%%)\n",
 		r.Speedup, floor, want, slack*100)
+	if r.ExtSpeedup > 0 && ref.ExtSpeedup > 0 {
+		floor := ref.ExtSpeedup * (1 - slackExt)
+		if r.ExtSpeedup < floor {
+			return fmt.Errorf("-check: extended replay speedup %.3f is below %.3f (reference %.3f from %s, slack %.0f%%)",
+				r.ExtSpeedup, floor, ref.ExtSpeedup, path, slackExt*100)
+		}
+		fmt.Printf("check ok: extended replay speedup %.3f >= %.3f (reference %.3f, slack %.0f%%)\n",
+			r.ExtSpeedup, floor, ref.ExtSpeedup, slackExt*100)
+	}
+	if r.MCSpeedup > 0 && ref.MCSpeedup > 0 && r.MCProcs == ref.MCProcs {
+		floor := ref.MCSpeedup * (1 - slackMC)
+		if r.MCSpeedup < floor {
+			return fmt.Errorf("-check: multicore (GOMAXPROCS=%d) speedup %.3f is below %.3f (reference %.3f from %s, slack %.0f%%)",
+				r.MCProcs, r.MCSpeedup, floor, ref.MCSpeedup, path, slackMC*100)
+		}
+		fmt.Printf("check ok: multicore (GOMAXPROCS=%d) speedup %.3f >= %.3f (reference %.3f, slack %.0f%%)\n",
+			r.MCProcs, r.MCSpeedup, floor, ref.MCSpeedup, slackMC*100)
+	}
 	return nil
+}
+
+// measureReplay fills the extended-space replay records: the fixed gs
+// trace from the bench_test.go harness replayed over extArchs sampled
+// Section 7 configurations - sequential cpu.Simulate loop, batched at
+// one sweep worker, and (when multicore > 0) batched at GOMAXPROCS =
+// multicore with the sweep fanned over as many workers. Every path's
+// results are checked identical before any timing is recorded.
+func measureReplay(r *result, runs, extArchs, multicore int) {
+	m := prog.MustBuild("gs")
+	o3 := opt.O3()
+	p, err := core.Compile(m, &o3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := trace.Generate(p, trace.Config{Runs: 2, MaxInsns: 200000, Seed: 1})
+	rng := rand.New(rand.NewSource(7))
+	cfgs := uarch.Space{Extended: true}.SampleN(rng, extArchs)
+	evc := float64(tr.Insns()) * float64(len(cfgs))
+
+	seq := make([]cpu.Result, len(cfgs))
+	median := func(f func()) float64 {
+		var ts []float64
+		for i := 0; i < runs; i++ {
+			t0 := time.Now()
+			f()
+			ts = append(ts, time.Since(t0).Seconds())
+		}
+		sort.Float64s(ts)
+		return ts[len(ts)/2]
+	}
+	fmt.Printf("replay engine: gs trace (%d events) x %d extended configs\n", tr.Insns(), len(cfgs))
+	seqSec := median(func() {
+		for i, c := range cfgs {
+			seq[i] = cpu.Simulate(tr, c)
+		}
+	})
+	var batch []cpu.Result
+	batchSec := median(func() { batch = cpu.SimulateBatchWith(tr, cfgs, 1) })
+	for i := range batch {
+		if batch[i] != seq[i] {
+			log.Fatalf("batched extended replay diverges from cpu.Simulate at config %d - refusing to write benchmark results", i)
+		}
+	}
+	r.ExtArchs = len(cfgs)
+	r.ExtTraceEvents = int64(tr.Insns())
+	r.ExtSeqMevcs = evc / seqSec / 1e6
+	r.ExtBatchMevcs = evc / batchSec / 1e6
+	r.ExtSpeedup = seqSec / batchSec
+	fmt.Printf("sequential: %.1f Mevc/s; batched (1 worker): %.1f Mevc/s; speedup %.2fx\n",
+		r.ExtSeqMevcs, r.ExtBatchMevcs, r.ExtSpeedup)
+	if multicore <= 0 {
+		return
+	}
+	prev := runtime.GOMAXPROCS(multicore)
+	var mc []cpu.Result
+	mcSec := median(func() { mc = cpu.SimulateBatchWith(tr, cfgs, multicore) })
+	runtime.GOMAXPROCS(prev)
+	for i := range mc {
+		if mc[i] != seq[i] {
+			log.Fatalf("multicore extended replay diverges from cpu.Simulate at config %d - refusing to write benchmark results", i)
+		}
+	}
+	r.MCProcs = multicore
+	r.MCMevcs = evc / mcSec / 1e6
+	r.MCSpeedup = batchSec / mcSec
+	fmt.Printf("batched (GOMAXPROCS=%d, %d sweep workers): %.1f Mevc/s; %.2fx over 1 worker\n",
+		multicore, multicore, r.MCMevcs, r.MCSpeedup)
 }
 
 // measureCounters runs the batched grid on a single-slot runner and

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	portccd [-listen :7077] [-workers N] [-heartbeat 1s]
+//	portccd [-listen :7077] [-workers N] [-sweep-workers N] [-heartbeat 1s]
 //
 // The wire handshake carries the protocol and dataset schema versions,
 // so a coordinator built against a different schema is refused with a
@@ -50,6 +50,8 @@ func main() {
 	log.SetPrefix("portccd: ")
 	listen := flag.String("listen", ":7077", "address to serve coordinator connections on")
 	workers := flag.Int("workers", 0, "cell worker pool size (0 = GOMAXPROCS)")
+	sweepWorkers := flag.Int("sweep-workers", 0,
+		"per-cell sweep parallelism of batched replays (0 = auto-tune against GOMAXPROCS)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "liveness heartbeat period on quiet connections")
 	flag.Parse()
 
@@ -78,7 +80,7 @@ func main() {
 		time.AfterFunc(2*time.Second, func() { os.Exit(1) })
 	}()
 
-	cfg := dataset.ServeConfig(*workers, *heartbeat)
+	cfg := dataset.ServeConfigWith(*workers, *sweepWorkers, *heartbeat)
 	cfg.Drain = drain
 	cfg.Logf = log.Printf
 	if err := sched.Serve(ctx, ln, cfg); err != nil {

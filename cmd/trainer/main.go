@@ -21,9 +21,10 @@
 // Usage:
 //
 //	trainer -out dataset.gob [-model-out model.gob] [-scale small]
-//	        [-archs N] [-opts N] [-extended] [-workers N]
+//	        [-archs N] [-opts N] [-extended] [-workers N] [-sweep-workers N]
 //	        [-shards host:port,host:port]
 //	        [-shard-retries N] [-shard-backoff dur]
+//	        [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -42,8 +43,10 @@ func main() {
 	var cf cliutil.Flags
 	cf.RegisterScale("small")
 	cf.RegisterWorkers()
+	cf.RegisterSweepWorkers()
 	cf.RegisterShards()
 	cf.RegisterShardRetry()
+	cf.RegisterProfile()
 	out := flag.String("out", "dataset.gob", "output file")
 	modelOut := flag.String("model-out", "", "also train the model and write it as a versioned artifact")
 	archs := flag.Int("archs", 0, "override architecture sample count")
@@ -52,6 +55,11 @@ func main() {
 	naive := flag.Bool("naive", false, "disable the batched compile engine (per-cell equivalence baseline; output is bit-identical)")
 	ctx, stop := cliutil.Init("trainer")
 	defer stop()
+	stopProfiles, err := cf.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	scale, ok := experiments.ScaleByName(cf.Scale)
 	if !ok {
@@ -69,6 +77,7 @@ func main() {
 	sessionOpts := []portcc.Option{
 		portcc.WithScale(scale),
 		portcc.WithWorkers(cf.Workers),
+		portcc.WithSweepWorkers(cf.SweepWorkers),
 		portcc.WithShards(shards...),
 		portcc.WithShardRetry(cf.ShardRetry()),
 		portcc.WithProgress(func(p portcc.Progress) { report(p.Done, p.Total) }),

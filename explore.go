@@ -60,7 +60,13 @@ func (s *Session) genConfig(extended bool) dataset.GenConfig {
 }
 
 func (s *Session) exploreOptions() dataset.ExploreOptions {
-	o := dataset.ExploreOptions{Workers: s.cfg.workers, Shards: s.cfg.shards, Retry: s.cfg.retry, Naive: s.cfg.naive}
+	o := dataset.ExploreOptions{
+		Workers:      s.cfg.workers,
+		SweepWorkers: s.cfg.sweepWorkers,
+		Shards:       s.cfg.shards,
+		Retry:        s.cfg.retry,
+		Naive:        s.cfg.naive,
+	}
 	if fn := s.cfg.progress; fn != nil {
 		o.Progress = func(done, total int) { fn(Progress{Done: done, Total: total}) }
 	}

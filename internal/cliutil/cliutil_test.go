@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -35,6 +36,42 @@ func TestShardRetryPolicy(t *testing.T) {
 	want := sched.RetryPolicy{MaxAttempts: 7, BaseBackoff: 250 * time.Millisecond}
 	if got := f.ShardRetry(); got != want {
 		t.Errorf("ShardRetry() = %+v, want %+v", got, want)
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	// Unset flags: a no-op stop, no files, no error.
+	var f Flags
+	stop, err := f.StartProfiles()
+	if err != nil {
+		t.Fatalf("StartProfiles with no flags: %v", err)
+	}
+	if stop == nil {
+		t.Fatal("StartProfiles returned a nil stop")
+	}
+	stop()
+
+	dir := t.TempDir()
+	f = Flags{cpuProfile: dir + "/cpu.pprof", memProfile: dir + "/mem.pprof"}
+	stop, err = f.StartProfiles()
+	if err != nil {
+		t.Fatalf("StartProfiles: %v", err)
+	}
+	stop()
+	for _, p := range []string{f.cpuProfile, f.memProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+
+	// An unwritable CPU profile path fails up front, not at stop.
+	f = Flags{cpuProfile: dir + "/missing/cpu.pprof"}
+	if _, err := f.StartProfiles(); err == nil {
+		t.Error("StartProfiles with unwritable -cpuprofile path: want error")
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -24,11 +26,14 @@ import (
 type Flags struct {
 	Scale        string
 	Workers      int
+	SweepWorkers int
 	Model        string
 	Addr         string
 	shards       string
 	shardRetries int
 	shardBackoff time.Duration
+	cpuProfile   string
+	memProfile   string
 }
 
 // RegisterScale installs the shared -scale flag.
@@ -39,6 +44,67 @@ func (f *Flags) RegisterScale(def string) {
 // RegisterWorkers installs the shared -workers flag.
 func (f *Flags) RegisterWorkers() {
 	flag.IntVar(&f.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+}
+
+// RegisterSweepWorkers installs the shared -sweep-workers flag: the
+// per-slot worker budget of the batched replay engine's per-geometry
+// sweeps. The default auto-tunes (cores the program-level fan-out cannot
+// occupy go to each slot's sweeps); an explicit count pins the share.
+// Results are bit-identical at every setting.
+func (f *Flags) RegisterSweepWorkers() {
+	flag.IntVar(&f.SweepWorkers, "sweep-workers", 0,
+		"per-worker sweep parallelism of batched replays (0 = auto-tune against GOMAXPROCS)")
+}
+
+// RegisterProfile installs the shared -cpuprofile and -memprofile flags;
+// StartProfiles acts on them.
+func (f *Flags) RegisterProfile() {
+	flag.StringVar(&f.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.memProfile, "memprofile", "", "write an allocation profile to this file on exit")
+}
+
+// StartProfiles starts the profiles the -cpuprofile/-memprofile flags
+// request and returns the function that stops the CPU profile and
+// snapshots the heap, to run once at tool exit (it is safe to call with
+// neither flag set, and the returned stop is never nil):
+//
+//	stop, err := cf.StartProfiles()
+//	if err != nil { log.Fatal(err) }
+//	defer stop()
+//
+// Note defer runs stop after a normal return but not after log.Fatal;
+// tools whose failure paths matter for profiling should stop explicitly
+// before exiting.
+func (f *Flags) StartProfiles() (stop func(), err error) {
+	if f.cpuProfile != "" {
+		cf, err := os.Create(f.cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return nil, fmt.Errorf("cliutil: -cpuprofile: %w", err)
+		}
+	}
+	memPath := f.memProfile
+	return func() {
+		if f.cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath == "" {
+			return
+		}
+		mf, err := os.Create(memPath)
+		if err != nil {
+			log.Printf("-memprofile: %v", err)
+			return
+		}
+		defer mf.Close()
+		runtime.GC() // materialise the final live set
+		if err := pprof.Lookup("allocs").WriteTo(mf, 0); err != nil {
+			log.Printf("-memprofile: %v", err)
+		}
+	}, nil
 }
 
 // RegisterModel installs the shared -model flag: the path of a trained

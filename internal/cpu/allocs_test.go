@@ -47,3 +47,27 @@ func TestSimulateBatchAllocsFlat(t *testing.T) {
 			shortAllocs, longAllocs)
 	}
 }
+
+// TestSimulateBatchClosedFormAllocs pins the width-2 closed-form path the
+// same way: everything it adds over the base engine (pairing groups, the
+// shared pairability and eligibility bitsets, the width-2 histogram)
+// lives in the pooled arena, so replaying a 16x longer trace through an
+// all-dual-issue configuration set must cost identical allocations.
+func TestSimulateBatchClosedFormAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	short := randomTrace(rng, 5000)
+	long := randomTrace(rng, 80000)
+	space := uarch.Space{Extended: true}
+	archs := space.SampleN(rng, 24)
+	for i := range archs {
+		archs[i].Width = 2
+	}
+	SimulateBatch(long, archs) // size the pooled arena for the large call
+	SimulateBatch(short, archs)
+	shortAllocs := testing.AllocsPerRun(20, func() { SimulateBatch(short, archs) })
+	longAllocs := testing.AllocsPerRun(20, func() { SimulateBatch(long, archs) })
+	if longAllocs != shortAllocs {
+		t.Errorf("closed-form SimulateBatch allocations scale with trace length: %.1f per call at 5k events, %.1f at 80k",
+			shortAllocs, longAllocs)
+	}
+}

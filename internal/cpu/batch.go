@@ -28,8 +28,18 @@
 //     penalty, so cycles reduce to closed forms over group counters - the
 //     only per-event per-configuration term, the dependency stall,
 //     collapses onto a small (load-distance, FU-stall) histogram built in
-//     the same pass. Dual-issue configurations (§7 extended space) keep a
-//     full per-event model because the pairing slot couples everything.
+//     the same pass. Dual-issue configurations (§7 extended space) reduce
+//     the same way: the pairing slot is the one extra term, and it
+//     factors into a configuration-independent pairability bit (dep-prev
+//     flag, mem-after-mem, after-control - one shared bitset) and a
+//     per-(fetch stream, load-use latency) eligibility bit (no fetch
+//     this cycle, no dependency stall), so the paired count is a
+//     run-length scan over an eligibility bitset shared by every width-2
+//     configuration with that stream and latency: within a maximal run
+//     of eligible events the pairing alternates, contributing ceil(L/2)
+//     pairs. Widths the closed form does not cover (>2, never sampled)
+//     keep a full per-event replay, which also serves as the oracle the
+//     equivalence tests drive against the closed forms.
 //
 //  4. The pass is cache-blocked: the trace is consumed in blocks of
 //     blockEvents events, and each shared structure sweeps a whole block
@@ -510,6 +520,7 @@ type batchState struct {
 	redirectBubble uint64
 	icIdx          int
 	btbIdx         int
+	pgIdx          int // pairing group (width-2 closed form), -1 otherwise
 	icm            *cacheMember
 	dcm            *cacheMember
 
@@ -520,6 +531,21 @@ type batchState struct {
 	branchStalls uint64
 	decodes      uint64
 	slotOpen     bool
+}
+
+// pairGroup accumulates the paired-issue count shared by every width-2
+// configuration with the same fetch stream and load-use latency: those
+// two inputs are all that distinguishes their pairing-eligibility
+// bitsets. The scan decomposes each block's eligibility word into
+// maximal runs; a run of L consecutive eligible events pairs ceil(L/2)
+// of them (the slot alternates open/closed through the run), and open
+// carries a run across word and block boundaries, where the slot state
+// persists.
+type pairGroup struct {
+	icIdx  int
+	latIdx int // index into the per-latency load-stall bitsets
+	pairs  uint64
+	open   uint64 // length of the eligible run entering the next word
 }
 
 type icKey struct {
@@ -639,6 +665,14 @@ func SimulateBatch(tr *trace.Trace, cfgs []uarch.Config) []Result {
 // multiplies with the program-level pools on multi-core machines.
 // Workers <= 1 (SimulateBatch's default) keeps the sequential fast path.
 func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Result {
+	return simulateBatch(tr, cfgs, workers, false)
+}
+
+// simulateBatch is the engine behind SimulateBatchWith. wideOracle
+// forces every multi-issue configuration onto the per-event replay path
+// instead of the width-2 closed forms - the equivalence tests use it to
+// drive both models over one trace and demand bit-identical results.
+func simulateBatch(tr *trace.Trace, cfgs []uarch.Config, workers int, wideOracle bool) []Result {
 	if len(cfgs) == 0 {
 		return nil
 	}
@@ -659,6 +693,7 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 	var lineTracks []lineTrack
 	var wide []*batchState // multi-issue configurations, per-event path
 	maxDl1 := 0            // deepest load-use latency among single-issue configs
+	maxDl1W := 0           // deepest load-use latency among closed-form width-2 configs
 
 	for i, cfg := range cfgs {
 		st := &states[i]
@@ -745,10 +780,52 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 			maxDl1 = st.dl1Lat
 		}
 	}
+	// Classify the multi-issue configurations: width 2 takes the closed
+	// forms through a pairing group (unless the oracle is forced), any
+	// other width keeps the per-event replay. The distinct load-use
+	// latencies are collected first, descending, so the shared sweep's
+	// per-event latency scan can stop at the first threshold the load
+	// distance reaches.
+	latSet := map[int]bool{}
 	for i := range states {
-		if states[i].width != 1 {
-			wide = append(wide, &states[i])
+		st := &states[i]
+		st.pgIdx = -1
+		if st.width == 1 {
+			continue
 		}
+		if st.width == 2 && !wideOracle {
+			latSet[st.dl1Lat] = true
+			if st.dl1Lat > maxDl1W {
+				maxDl1W = st.dl1Lat
+			}
+		} else {
+			wide = append(wide, st)
+		}
+	}
+	var lats []int
+	for lat := range latSet {
+		lats = append(lats, lat)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lats)))
+	latIndex := map[int]int{}
+	for li, lat := range lats {
+		latIndex[lat] = li
+	}
+	var pairGroups []pairGroup
+	pgIndex := map[[2]int]int{}
+	for i := range states {
+		st := &states[i]
+		if st.width != 2 || wideOracle {
+			continue
+		}
+		k := [2]int{st.icIdx, latIndex[st.dl1Lat]}
+		pi, ok := pgIndex[k]
+		if !ok {
+			pi = len(pairGroups)
+			pairGroups = append(pairGroups, pairGroup{icIdx: k[0], latIdx: k[1]})
+			pgIndex[k] = pi
+		}
+		st.pgIdx = pi
 	}
 	for _, s := range icStacks {
 		s.stack.finalize(sc)
@@ -781,6 +858,33 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 		hist = sc.u64.get((maxDl1+1)*fsDim, true)
 	}
 
+	// Width-2 shared structures. pairOK marks the events whose
+	// configuration-independent pairing inputs allow dual issue (no
+	// dep-prev flag, not a memory op after a memory op, not after
+	// control); storeB marks stores so the per-event fallback never
+	// re-decodes opcodes (the bitsets carry everything it reads). The
+	// closed forms additionally build hist2 - the dependency histogram
+	// under width-2 distance quantisation (elapsed = ceil(dist/2)) -
+	// plus fu2 (any functional-unit stall, configuration-independent at
+	// a fixed width) and one load-stall bitset per distinct load-use
+	// latency, so a group's pairing eligibility is pure word arithmetic:
+	// pairOK &^ (accesses | fu2 | loadLt).
+	anyWide := len(wide) > 0 || len(pairGroups) > 0
+	var pairOK, storeB, fu2 bitset
+	var hist2 []uint64
+	var loadLts []bitset
+	if anyWide {
+		pairOK = sc.bitset()
+		storeB = sc.bitset()
+	}
+	if len(pairGroups) > 0 {
+		fu2 = sc.bitset()
+		hist2 = sc.u64.get((maxDl1W+1)*fsDim, true)
+		for range lats {
+			loadLts = append(loadLts, sc.bitset())
+		}
+	}
+
 	// baseRedir marks positions raising the geometry-independent pending
 	// redirect (taken control flow). condList and memList pack the block's
 	// branch and memory events as address | position<<32 | flag<<63 so the
@@ -802,6 +906,9 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 		nb, words  int
 		lastMask   uint64
 		blockStart int
+		// pm/pc carry the previous event's memory/control decode across
+		// block boundaries for the shared pairability bits.
+		pm, pc bool
 	)
 
 	// Wave 1 - line-change detection (one tight pass over the packed
@@ -903,23 +1010,66 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 		}
 	}
 
-	// Wave 3 - multi-issue configurations: full per-event model over
-	// the block, mirroring Simulate statement for statement with the
-	// shared outcomes read back from the bitsets.
-	wave3 := func(i int) {
-		st := wide[i]
+	// Wave 3 - the multi-issue work. Pairing groups fold the block's
+	// eligibility words into their run accounting: eligible events are
+	// pairable ones the configuration neither fetches at nor stalls on,
+	// and within a maximal run of them the pairing slot alternates, so a
+	// run of length L pairs ceil(L/2) events. A run is closed by the
+	// first ineligible event after it; open carries runs across word and
+	// block boundaries. Per-event states replay the block mirroring
+	// Simulate statement for statement, every decoded input read back
+	// from the shared bitsets (pairOK folds the dep-prev flag and the
+	// previous event's memory/control class; dcm.missBits and
+	// bg.mispredBits are only ever set at memory/branch positions, so no
+	// opcode test needs repeating here).
+	sweepPairs := func(k int) {
+		g := &pairGroups[k]
+		acc := ics[g.icIdx].accBits
+		lt := loadLts[g.latIdx]
+		open, pairs := g.open, g.pairs
+		for w := 0; w < words; w++ {
+			v := pairOK[w] &^ (acc[w] | fu2[w] | lt[w])
+			switch v {
+			case 0:
+				if open != 0 {
+					pairs += (open + 1) / 2
+					open = 0
+				}
+				continue
+			case ^uint64(0):
+				open += 64
+				continue
+			}
+			for pos := 0; pos < 64; {
+				rest := v >> uint(pos)
+				if rest == 0 {
+					break
+				}
+				if gap := bits.TrailingZeros64(rest); gap > 0 {
+					if open != 0 {
+						pairs += (open + 1) / 2
+						open = 0
+					}
+					pos += gap
+				}
+				run := bits.TrailingZeros64(^(v >> uint(pos)))
+				open += uint64(run)
+				pos += run
+				if pos < 64 {
+					// The run ends inside the word: the next bit is a gap.
+					pairs += (open + 1) / 2
+					open = 0
+				}
+			}
+		}
+		g.open, g.pairs = open, pairs
+	}
+	wideReplay := func(st *batchState) {
 		g := &ics[st.icIdx]
 		bg := &btbs[st.btbIdx]
 		w := st.width
-		prevMem, prevCtl := false, false
-		if blockStart > 0 {
-			pop := isa.Op(tr.Events[blockStart-1].Op)
-			prevMem, prevCtl = pop.IsMem(), pop.IsControl()
-		}
 		for j := range evs {
 			ev := &evs[j]
-			op := isa.Op(ev.Op)
-			isMem := op.IsMem()
 			if g.accBits.get(j) {
 				if st.icm.missBits.get(j) {
 					st.cycles += st.icPenalty
@@ -949,31 +1099,34 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 				st.depStalls += stall
 				st.slotOpen = false
 			}
-			pairable := w == 2 && st.slotOpen &&
-				ev.Flags&trace.FlagDepPrev == 0 &&
-				!(prevMem && isMem) && !prevCtl
-			if pairable {
+			if w == 2 && st.slotOpen && pairOK.get(j) {
 				st.slotOpen = false
 			} else {
 				st.cycles++
 				st.slotOpen = w == 2
 			}
 			st.decodes++
-			if isMem && st.dcm.missBits.get(j) {
+			if st.dcm.missBits.get(j) {
 				p := st.dcPenalty
-				if op == isa.OpStore {
+				if storeB.get(j) {
 					p = st.stPenalty
 				}
 				st.cycles += p
 				st.memStalls += p
 			}
-			if ev.Flags&trace.FlagCond != 0 && bg.mispredBits.get(j) {
+			if bg.mispredBits.get(j) {
 				st.cycles += mispredictPenalty
 				st.branchStalls += mispredictPenalty
 				st.decodes += uint64(mispredictPenalty * w / 2)
 			}
-			prevMem, prevCtl = isMem, op.IsControl()
 		}
+	}
+	wave3 := func(i int) {
+		if i < len(pairGroups) {
+			sweepPairs(i)
+			return
+		}
+		wideReplay(wide[i-len(pairGroups)])
 	}
 
 	for blockStart = 0; blockStart < len(tr.Events); blockStart += blockEvents {
@@ -999,6 +1152,16 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 		}
 		for _, m := range wideMembers {
 			m.missBits.clearWords(words)
+		}
+		if anyWide {
+			pairOK.clearWords(words)
+			storeB.clearWords(words)
+		}
+		if fu2 != nil {
+			fu2.clearWords(words)
+			for _, b := range loadLts {
+				b.clearWords(words)
+			}
 		}
 		condList = condList[:0]
 		memList = memList[:0]
@@ -1026,6 +1189,41 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 				}
 			} else if op.IsControl() {
 				baseRedir.set(j)
+			}
+			if anyWide {
+				isMem := op.IsMem()
+				if op == isa.OpStore {
+					storeB.set(j)
+				}
+				if ev.Flags&trace.FlagDepPrev == 0 && !(pm && isMem) && !pc {
+					pairOK.set(j)
+				}
+				pm, pc = isMem, op.IsControl()
+				if fu2 != nil {
+					fs2 := 0
+					if ev.DistFU != trace.NoDist {
+						if s := int(ev.FULat) - (int(ev.DistFU)+1)/2; s > 0 {
+							fs2 = s
+							fu2.set(j)
+						}
+					}
+					dl2 := maxDl1W
+					if ev.DistLoad != trace.NoDist {
+						d := (int(ev.DistLoad) + 1) / 2
+						if d < maxDl1W {
+							dl2 = d
+						}
+						for li, lat := range lats {
+							if d >= lat {
+								break
+							}
+							loadLts[li].set(j)
+						}
+					}
+					if dl2 < maxDl1W || fs2 > 0 {
+						hist2[dl2*fsDim+fs2]++
+					}
+				}
 			}
 			if hist != nil {
 				dl := maxDl1
@@ -1055,7 +1253,16 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 		// shared outcome bitset.
 		parallelSweep(workers, len(lineTracks)+len(btbs)+len(dcs), wave1)
 		parallelSweep(workers, len(ics)+len(icStacks), wave2)
-		parallelSweep(workers, len(wide), wave3)
+		parallelSweep(workers, len(pairGroups)+len(wide), wave3)
+	}
+
+	// A run still open at the end of the trace pairs like any other:
+	// its events all issued, alternating.
+	for k := range pairGroups {
+		if g := &pairGroups[k]; g.open > 0 {
+			g.pairs += (g.open + 1) / 2
+			g.open = 0
+		}
 	}
 
 	var aluOps, macOps, shiftOps uint64
@@ -1095,7 +1302,8 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 		res.MACOps = macOps
 		res.ShiftOps = shiftOps
 
-		if st.width == 1 {
+		switch {
+		case st.width == 1:
 			// Closed forms: every stall source is (shared count) x
 			// (per-configuration penalty); issue contributes one cycle
 			// per instruction.
@@ -1108,7 +1316,22 @@ func SimulateBatchWith(tr *trace.Trace, cfgs []uarch.Config, workers int) []Resu
 			res.Cycles = insns + res.FetchStalls + res.MemStalls +
 				res.DepStalls + res.BranchStalls
 			res.Decodes = insns + bg.mispredicts*uint64(mispredictPenalty/2)
-		} else {
+		case st.pgIdx >= 0:
+			// Width-2 closed forms: the stall terms are the width-1 ones
+			// (the histogram swapped for its width-2 quantisation), and
+			// issue contributes one cycle per instruction minus one per
+			// paired event, from this configuration's pairing group.
+			res.FetchStalls = st.icm.misses*st.icPenalty +
+				g.redirects*(st.redirectBubble-1)
+			res.MemStalls = st.dcm.loadMisses*st.dcPenalty +
+				st.dcm.storeMisses*st.stPenalty
+			res.BranchStalls = bg.mispredicts * mispredictPenalty
+			res.DepStalls = depStallDot(hist2, maxDl1W, st.dl1Lat)
+			res.Cycles = insns - pairGroups[st.pgIdx].pairs +
+				res.FetchStalls + res.MemStalls +
+				res.DepStalls + res.BranchStalls
+			res.Decodes = insns + bg.mispredicts*uint64(mispredictPenalty)
+		default:
 			res.Cycles = st.cycles
 			res.FetchStalls = st.fetchStalls
 			res.MemStalls = st.memStalls

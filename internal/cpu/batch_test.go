@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"portcc/internal/core"
@@ -126,6 +127,158 @@ func TestSimulateBatchRandomTraces(t *testing.T) {
 	}
 }
 
+// pairingEdgeTrace builds a deterministic trace that forces every
+// dual-issue pairing edge case through the closed forms: maximal
+// pairable runs of both parities, dep-chain breaks (FlagDepPrev),
+// memory-after-memory sequences, pairing directly after taken and
+// mispredicted control flow, load-use and functional-unit stalls with
+// distances straddling the latency thresholds, a pairable run that
+// deterministically crosses the 32768-event block boundary, and a
+// trace length that ends mid-word with the final run still open.
+func pairingEdgeTrace(n int) *trace.Trace {
+	tr := &trace.Trace{Runs: 1}
+	tr.Events = make([]trace.Event, 0, n)
+	pc := uint32(0x1000)
+	emit := func(ev trace.Event) {
+		if len(tr.Events) >= n {
+			return
+		}
+		ev.PC = pc
+		pc += 4
+		op := isa.Op(ev.Op)
+		tr.Events = append(tr.Events, ev)
+		tr.OpCount[op]++
+		if op.IsMem() {
+			tr.MemOps++
+		}
+		if ev.Flags&trace.FlagCond != 0 {
+			tr.Branches++
+		}
+	}
+	alu := trace.Event{Op: uint8(isa.OpALU), DistLoad: trace.NoDist, DistFU: trace.NoDist}
+	phase := 0
+	// emitPhase appends at most 66 events of one edge-case pattern.
+	emitPhase := func() {
+		switch phase % 8 {
+		case 0: // maximal pairable runs, length parity varying
+			for i := 0; i < 63+phase%3; i++ {
+				emit(alu)
+			}
+		case 1: // dep-chain breaks
+			for i := 0; i < 24; i++ {
+				ev := alu
+				if i%3 == 1 {
+					ev.Flags = trace.FlagDepPrev
+				}
+				emit(ev)
+			}
+		case 2: // memory-after-memory in every load/store order
+			for i := 0; i < 16; i++ {
+				ev := trace.Event{DistLoad: trace.NoDist, DistFU: trace.NoDist, Addr: uint32(0x8000 + i*64)}
+				if i%4 < 2 {
+					ev.Op = uint8(isa.OpLoad)
+				} else {
+					ev.Op = uint8(isa.OpStore)
+				}
+				emit(ev)
+				if i%4 == 3 {
+					emit(alu)
+				}
+			}
+		case 3: // pairable ops directly after a taken redirect
+			emit(trace.Event{Op: uint8(isa.OpJump), DistLoad: trace.NoDist, DistFU: trace.NoDist})
+			for i := 0; i < 5; i++ {
+				emit(alu)
+			}
+		case 4: // conditional branches: mispredict redirects differ per BTB
+			for i := 0; i < 12; i++ {
+				ev := trace.Event{Op: uint8(isa.OpBranch), DistLoad: trace.NoDist, DistFU: trace.NoDist, Flags: trace.FlagCond}
+				if i%3 != 0 {
+					ev.Flags |= trace.FlagTaken
+				}
+				emit(ev)
+				emit(alu)
+				emit(alu)
+			}
+		case 5: // load-use stalls around each latency threshold
+			for d := 0; d < 12; d++ {
+				emit(trace.Event{Op: uint8(isa.OpLoad), DistLoad: trace.NoDist, DistFU: trace.NoDist, Addr: uint32(0x400 * d)})
+				use := alu
+				use.DistLoad = uint8(d)
+				emit(use)
+				emit(alu)
+			}
+		case 6: // functional-unit stalls (break eligibility width-independently)
+			for i := 0; i < 10; i++ {
+				emit(trace.Event{Op: uint8(isa.OpMul), DistLoad: trace.NoDist, DistFU: trace.NoDist})
+				use := alu
+				use.DistFU = uint8(i % 4)
+				use.FULat = uint8(2 + i%5)
+				emit(use)
+			}
+		case 7: // a lone unpairable op re-seeds the run parity
+			ev := alu
+			ev.Flags = trace.FlagDepPrev
+			emit(ev)
+		}
+		phase++
+	}
+	for len(tr.Events) < blockEvents-100 && len(tr.Events) < n {
+		emitPhase()
+	}
+	// Straddle the block boundary with one maximal pairable run.
+	for len(tr.Events) < blockEvents+64 && len(tr.Events) < n {
+		emit(alu)
+	}
+	for len(tr.Events) < n-100 {
+		emitPhase()
+	}
+	for len(tr.Events) < n {
+		emit(alu) // trailing run left open at end of trace
+	}
+	tr.RegReads = uint64(n)
+	tr.RegWrites = uint64(n / 2)
+	return tr
+}
+
+// TestSimulateBatchWideOracle drives the width-2 closed forms against the
+// per-event replay oracle (simulateBatch with wideOracle set: the full
+// event-by-event dual-issue model) and against Simulate, over the crafted
+// pairing-edge trace and adversarial random traces, at every worker
+// count the satellite pins. A width-3 configuration - outside the
+// sampled space but accepted by the engine - rides along to keep the
+// per-event fallback covered in normal mode too.
+func TestSimulateBatchWideOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	check := func(tr *trace.Trace, archs []uarch.Config) {
+		t.Helper()
+		closed := SimulateBatch(tr, archs)
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			oracle := simulateBatch(tr, archs, workers, true)
+			for i := range archs {
+				if closed[i] != oracle[i] {
+					t.Fatalf("workers=%d config %d (%s): closed form differs from per-event oracle:\n  got %+v\n want %+v",
+						workers, i, archs[i].String(), closed[i], oracle[i])
+				}
+			}
+		}
+		for i, cfg := range archs {
+			if want := Simulate(tr, cfg); closed[i] != want {
+				t.Fatalf("config %d (%s):\n batch %+v\n  want %+v", i, cfg.String(), closed[i], want)
+			}
+		}
+	}
+	archs := sampleArchs(rng, 12, true)
+	w3 := uarch.XScale()
+	w3.Width = 3
+	archs = append(archs, w3)
+	check(pairingEdgeTrace(2*blockEvents+37), archs)
+	for seed := int64(0); seed < 4; seed++ {
+		frng := rand.New(rand.NewSource(seed))
+		check(randomTrace(frng, 3000+frng.Intn(4000)), sampleArchs(frng, 8, true))
+	}
+}
+
 // TestSimulateBatchParallelSweepsBitIdentical is the schedule-freedom
 // property of the parallel per-geometry sweeps: any worker count (and
 // therefore any interleaving of the line-tracker, BTB, cache-stack and
@@ -137,7 +290,7 @@ func TestSimulateBatchParallelSweepsBitIdentical(t *testing.T) {
 	check := func(tr *trace.Trace, archs []uarch.Config) {
 		t.Helper()
 		want := SimulateBatch(tr, archs)
-		for _, workers := range []int{0, 2, 3, 8} {
+		for _, workers := range []int{0, 1, 2, 3, 4, 8, runtime.GOMAXPROCS(0)} {
 			got := SimulateBatchWith(tr, archs, workers)
 			for i := range want {
 				if got[i] != want[i] {
@@ -156,6 +309,7 @@ func TestSimulateBatchParallelSweepsBitIdentical(t *testing.T) {
 	tr := trace.Generate(p, trace.Config{Runs: 1, MaxInsns: 30000, Seed: 3})
 	check(tr, sampleArchs(rng, 24, false))
 	check(tr, sampleArchs(rng, 24, true))
+	check(pairingEdgeTrace(2*blockEvents+37), sampleArchs(rng, 16, true))
 	for seed := int64(0); seed < 6; seed++ {
 		frng := rand.New(rand.NewSource(seed))
 		ftr := randomTrace(frng, 2000+frng.Intn(3000))

@@ -8,6 +8,7 @@ package cpu
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"portcc/internal/isa"
@@ -211,6 +212,24 @@ func FuzzSimulateBatchVsSimulate(f *testing.F) {
 		for i, cfg := range archs {
 			if want := Simulate(tr, cfg); batch[i] != want {
 				t.Fatalf("config %d (%s):\n batch %+v\n  want %+v", i, cfg.String(), batch[i], want)
+			}
+		}
+		// The width-2 closed forms must agree with the per-event oracle,
+		// and any worker count must agree with the sequential pass.
+		oracle := simulateBatch(tr, archs, 1, true)
+		for i := range archs {
+			if oracle[i] != batch[i] {
+				t.Fatalf("config %d (%s): per-event oracle differs from closed form:\n  got %+v\n want %+v",
+					i, archs[i].String(), oracle[i], batch[i])
+			}
+		}
+		for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+			par := SimulateBatchWith(tr, archs, workers)
+			for i := range archs {
+				if par[i] != batch[i] {
+					t.Fatalf("workers=%d config %d (%s): parallel differs from sequential:\n  got %+v\n want %+v",
+						workers, i, archs[i].String(), par[i], batch[i])
+				}
 			}
 		}
 	})

@@ -158,6 +158,12 @@ func deriveRuns(probe *trace.Trace, cfg EvalConfig) int {
 type Evaluator struct {
 	cfg  EvalConfig
 	base *SharedBase // optional pool-shared module/probe cache
+	// sweepWorkers bounds the per-geometry sweep parallelism inside each
+	// batched replay (0 = GOMAXPROCS, cpu.SimulateBatchWith's contract).
+	// Worker pools that already fan out over programs set an explicit
+	// share via SetSweepWorkers so the two levels together match the
+	// machine (see internal/tune).
+	sweepWorkers int
 
 	mu      sync.Mutex
 	modules map[string]*ir.Module
@@ -558,12 +564,28 @@ func (e *Evaluator) addTraceReuses(n int64) {
 	e.mu.Unlock()
 }
 
+// SetSweepWorkers sets the worker budget each batched replay fans its
+// per-geometry sweeps over: 0 (the default) uses GOMAXPROCS, so a
+// standalone evaluator exploits the whole machine per SimulateBatch
+// call; n >= 1 pins an explicit share, which worker pools use to divide
+// the machine between program fan-out and sweep parallelism. Results
+// are bit-identical at every setting.
+func (e *Evaluator) SetSweepWorkers(n int) {
+	e.mu.Lock()
+	e.sweepWorkers = n
+	e.mu.Unlock()
+}
+
 // SimulateBatch replays an already-generated trace on every architecture
 // through the batched single-pass engine, returning one result per
 // architecture in input order (bit-identical to SimulateTrace per
-// architecture).
+// architecture). The per-geometry sweeps inside the pass fan over the
+// evaluator's sweep-worker budget (SetSweepWorkers).
 func (e *Evaluator) SimulateBatch(tr *trace.Trace, archs []uarch.Config) []cpu.Result {
-	rs := cpu.SimulateBatch(tr, archs)
+	e.mu.Lock()
+	workers := e.sweepWorkers
+	e.mu.Unlock()
+	rs := cpu.SimulateBatchWith(tr, archs, workers)
 	e.mu.Lock()
 	e.Simulations += len(archs)
 	e.mu.Unlock()

@@ -13,6 +13,7 @@ import (
 	"portcc/internal/pcerr"
 	"portcc/internal/prog"
 	"portcc/internal/sched"
+	"portcc/internal/tune"
 	"portcc/internal/uarch"
 )
 
@@ -136,6 +137,13 @@ type ExploreOptions struct {
 	Retry sched.RetryPolicy
 	// Naive forces the per-cell compile path (see ExploreRequest.Naive).
 	Naive bool
+	// SweepWorkers bounds the per-geometry sweep parallelism inside each
+	// worker slot's batched replays: 0 auto-tunes (the slots divide
+	// GOMAXPROCS between cell fan-out and sweeps, see internal/tune),
+	// n >= 1 pins an explicit per-slot share. Results are bit-identical
+	// at every setting. Like Workers it is an execution parameter: a
+	// sharded run's sweeps are sized daemon-side (portccd -sweep-workers).
+	SweepWorkers int
 }
 
 // executor picks the scheduling backend the options describe.
@@ -214,21 +222,31 @@ func runCell(ev *Evaluator, req *ExploreRequest, c exploreCell) (ExploreResult, 
 // must derive it with sched.Workers so it matches the pool's slot
 // contract. The request must already be validated.
 func (r *ExploreRequest) Runner(slots int) func(slot, index int) (any, error) {
-	run, _ := r.runner(slots)
+	return r.RunnerWith(slots, 0)
+}
+
+// RunnerWith is Runner with an explicit per-slot sweep-worker budget for
+// the batched replays inside each cell (0 auto-tunes: leftover cores the
+// slot fan-out cannot occupy go to each slot's sweeps, see
+// internal/tune; results are bit-identical at every setting).
+func (r *ExploreRequest) RunnerWith(slots, sweepWorkers int) func(slot, index int) (any, error) {
+	run, _ := r.runner(slots, sweepWorkers)
 	return run
 }
 
-// InstrumentedRunner is Runner with one worker slot, returning the slot's
-// evaluator alongside so a caller driving the grid itself can read the
-// work counters (Stats) afterwards - the benchmark harness uses it to
-// report pass runs saved without a profiler.
+// InstrumentedRunner is Runner with one worker slot and sequential
+// sweeps, returning the slot's evaluator alongside so a caller driving
+// the grid itself can read the work counters (Stats) afterwards - the
+// benchmark harness uses it to report pass runs saved without a
+// profiler.
 func (r *ExploreRequest) InstrumentedRunner() (func(slot, index int) (any, error), *Evaluator) {
-	run, evs := r.runner(1)
+	run, evs := r.runner(1, 1)
 	evs[0] = NewEvaluatorWith(r.Eval, nil)
+	evs[0].SetSweepWorkers(1)
 	return run, evs[0]
 }
 
-func (r *ExploreRequest) runner(slots int) (func(slot, index int) (any, error), []*Evaluator) {
+func (r *ExploreRequest) runner(slots, sweepWorkers int) (func(slot, index int) (any, error), []*Evaluator) {
 	cells := r.cells()
 	base := NewSharedBase()
 	evs := make([]*Evaluator, slots)
@@ -236,9 +254,15 @@ func (r *ExploreRequest) runner(slots int) (func(slot, index int) (any, error), 
 	if !r.Naive {
 		sw = newSweepState(r, slots)
 	}
+	if sweepWorkers <= 0 {
+		// Auto-tune: the slot fan-out claims the machine first, and each
+		// slot's replays sweep over the cores the fan-out cannot occupy.
+		_, sweepWorkers = tune.Split(0, slots, len(r.Archs))
+	}
 	return func(slot, index int) (any, error) {
 		if evs[slot] == nil {
 			evs[slot] = NewEvaluatorWith(r.Eval, base)
+			evs[slot].SetSweepWorkers(sweepWorkers)
 		}
 		var res ExploreResult
 		var err error
@@ -259,6 +283,14 @@ func (r *ExploreRequest) runner(slots int) (func(slot, index int) (any, error), 
 // against this build's suite and spaces, and run cells on pooled
 // evaluators. cmd/portccd wraps exactly this; tests drive it in-process.
 func ServeConfig(workers int, heartbeat time.Duration) sched.ServeConfig {
+	return ServeConfigWith(workers, 0, heartbeat)
+}
+
+// ServeConfigWith is ServeConfig with an explicit per-slot sweep-worker
+// budget for the batched replays (0 auto-tunes against the daemon's
+// GOMAXPROCS; portccd exposes it as -sweep-workers). Streams are
+// bit-identical at every setting.
+func ServeConfigWith(workers, sweepWorkers int, heartbeat time.Duration) sched.ServeConfig {
 	return sched.ServeConfig{
 		Format:    FormatVersion,
 		Workers:   workers,
@@ -271,7 +303,7 @@ func ServeConfig(workers int, heartbeat time.Duration) sched.ServeConfig {
 			if err := req.Validate(); err != nil {
 				return nil, err
 			}
-			return req.Runner(sched.Workers(workers, req.Cells())), nil
+			return req.RunnerWith(sched.Workers(workers, req.Cells()), sweepWorkers), nil
 		},
 	}
 }
@@ -326,7 +358,7 @@ func Explore(ctx context.Context, req ExploreRequest, o ExploreOptions) iter.Seq
 			// Remote execution never runs cells coordinator-side; the
 			// evaluator pool exists only on the local path, so sharded
 			// runs do not allocate a dead runner.
-			job.Run = req.Runner(sched.Workers(o.Workers, total))
+			job.Run = req.RunnerWith(sched.Workers(o.Workers, total), o.SweepWorkers)
 		}
 		var firstErr error
 		var protoOnce sync.Once

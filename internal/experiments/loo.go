@@ -9,6 +9,7 @@ import (
 	"portcc/internal/opt"
 	"portcc/internal/pcerr"
 	"portcc/internal/sched"
+	"portcc/internal/tune"
 	"portcc/internal/uarch"
 )
 
@@ -56,7 +57,7 @@ func PredictWith(ctx context.Context, ds *dataset.Dataset, k int, beta float64, 
 // prediction - so the model must have been trained on this dataset
 // (compare the artifact's dataset fingerprint before calling).
 func PredictWithModel(ctx context.Context, ds *dataset.Dataset, model *ml.Model, workers int) (*Predictions, error) {
-	nP, _, _ := ds.Dims()
+	nP, nA, _ := ds.Dims()
 	pr := &Predictions{
 		DS:      ds,
 		Config:  make([][]opt.Config, nP),
@@ -66,16 +67,20 @@ func PredictWithModel(ctx context.Context, ds *dataset.Dataset, model *ml.Model,
 	// The per-program evaluations are independent: the shared worker
 	// pool spreads the compile + batched-replay work over the machine,
 	// one evaluator per slot (private trace caches) with modules and
-	// -O3 probes deduplicated through a pool base. sched.Run reports the
-	// lowest-indexed failure deterministically; a real failure outranks
-	// cancellation, which names the broken program instead of hiding it
-	// behind a PartialError.
-	workers = sched.Workers(workers, nP)
+	// -O3 probes deduplicated through a pool base. Cores the program
+	// fan-out cannot occupy (fewer held-out programs than the budget) go
+	// to each slot's batched-replay sweeps instead - tune.Split sizes
+	// the two levels so they multiply to the machine, never beyond.
+	// sched.Run reports the lowest-indexed failure deterministically; a
+	// real failure outranks cancellation, which names the broken program
+	// instead of hiding it behind a PartialError.
+	workers, sweepWorkers := tune.Split(workers, nP, nA)
 	base := dataset.NewSharedBase()
 	evs := make([]*dataset.Evaluator, workers)
 	done, firstE := sched.Run(ctx, workers, nP, func(slot, p int) error {
 		if evs[slot] == nil {
 			evs[slot] = dataset.NewEvaluatorWith(ds.Cfg.Eval, base)
+			evs[slot].SetSweepWorkers(sweepWorkers)
 		}
 		return predictProgram(ds, model, evs[slot], pr, p)
 	})

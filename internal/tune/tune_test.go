@@ -1,0 +1,67 @@
+package tune
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSplit(t *testing.T) {
+	tests := []struct {
+		name                 string
+		budget, outer, inner int
+		wantOuter, wantInner int
+	}{
+		{"fan-out heavy: many programs soak the budget", 8, 35, 200, 8, 1},
+		{"sweep heavy: few programs, many archs", 8, 2, 200, 2, 4},
+		{"exact split", 8, 4, 200, 4, 2},
+		{"inner capped by arch count", 16, 2, 3, 2, 3},
+		{"single task takes everything", 8, 1, 200, 1, 8},
+		{"budget one stays sequential", 1, 35, 200, 1, 1},
+		{"uneven division rounds down", 7, 3, 200, 3, 2},
+		{"outer zero clamps to one", 4, 0, 10, 1, 4},
+		{"inner zero clamps to one", 4, 2, 0, 2, 1},
+		{"budget exceeds both levels", 64, 2, 4, 2, 4},
+	}
+	for _, tc := range tests {
+		outerW, innerW := Split(tc.budget, tc.outer, tc.inner)
+		if outerW != tc.wantOuter || innerW != tc.wantInner {
+			t.Errorf("%s: Split(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.name, tc.budget, tc.outer, tc.inner, outerW, innerW, tc.wantOuter, tc.wantInner)
+		}
+	}
+}
+
+func TestSplitDefaultBudget(t *testing.T) {
+	// 0 and negative budgets mean GOMAXPROCS, matching sched.Workers.
+	p := runtime.GOMAXPROCS(0)
+	for _, budget := range []int{0, -3} {
+		outerW, innerW := Split(budget, 1000, 1000)
+		if outerW != p || innerW != 1 {
+			t.Errorf("Split(%d, 1000, 1000) = (%d, %d), want (%d, 1)", budget, outerW, innerW, p)
+		}
+	}
+}
+
+func TestSplitNeverOversubscribes(t *testing.T) {
+	// The product of the two levels never exceeds the budget (beyond the
+	// at-least-1 floor of each level).
+	for budget := 1; budget <= 32; budget++ {
+		for outer := 1; outer <= 40; outer += 3 {
+			for inner := 1; inner <= 40; inner += 3 {
+				outerW, innerW := Split(budget, outer, inner)
+				if outerW < 1 || innerW < 1 {
+					t.Fatalf("Split(%d, %d, %d) = (%d, %d): worker counts must be >= 1",
+						budget, outer, inner, outerW, innerW)
+				}
+				if outerW*innerW > budget && innerW > 1 {
+					t.Fatalf("Split(%d, %d, %d) = (%d, %d): oversubscribed (%d > %d)",
+						budget, outer, inner, outerW, innerW, outerW*innerW, budget)
+				}
+				if outerW > outer || innerW > inner {
+					t.Fatalf("Split(%d, %d, %d) = (%d, %d): exceeds level bounds",
+						budget, outer, inner, outerW, innerW)
+				}
+			}
+		}
+	}
+}

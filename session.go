@@ -29,22 +29,34 @@ func (p Progress) Fraction() float64 {
 type Option func(*sessionConfig)
 
 type sessionConfig struct {
-	workers     int
-	scale       Scale
-	scaleSet    bool
-	eval        dataset.EvalConfig
-	evalSet     bool
-	cacheBudget int64
-	progress    func(Progress)
-	shards      []string
-	retry       RetryPolicy
-	naive       bool
+	workers      int
+	sweepWorkers int
+	scale        Scale
+	scaleSet     bool
+	eval         dataset.EvalConfig
+	evalSet      bool
+	cacheBudget  int64
+	progress     func(Progress)
+	shards       []string
+	retry        RetryPolicy
+	naive        bool
 }
 
 // WithWorkers bounds the worker pool used by Explore and GenerateDataset
 // (default: GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(c *sessionConfig) { c.workers = n }
+}
+
+// WithSweepWorkers bounds the per-geometry sweep parallelism inside each
+// batched replay (RunBatch, and each Explore/GenerateDataset worker
+// slot). The default (0) auto-tunes: single-trace replays sweep over the
+// whole machine, while exploration slots share out the cores their
+// fan-out cannot occupy. Results are bit-identical at every setting -
+// the sweeps' schedule freedom is proved by the engine's equivalence
+// tests - so this knob trades nothing but wall-clock shape.
+func WithSweepWorkers(n int) Option {
+	return func(c *sessionConfig) { c.sweepWorkers = n }
 }
 
 // WithShards distributes Explore and GenerateDataset over portccd worker
@@ -149,6 +161,10 @@ func NewSession(opts ...Option) *Session {
 	}
 	s := &Session{cfg: cfg, baseline: map[baselineKey]*baselineEntry{}}
 	s.ev = dataset.NewEvaluator(s.evalConfig())
+	// The session's own evaluator serves single-trace calls (RunBatch,
+	// Speedup): nothing else competes for the machine there, so its
+	// batched replays sweep over the full budget (0 = GOMAXPROCS).
+	s.ev.SetSweepWorkers(cfg.sweepWorkers)
 	return s
 }
 
