@@ -17,12 +17,24 @@
 // repeated at GOMAXPROCS=N with the sweep fanned over N workers, the
 // gomaxprocs>1 record of the same engine.
 //
+// A third generation measurement exercises the persistent result store:
+// one batched generation against an empty store directory (cold - every
+// replay computed and committed to disk), then -runs generations against
+// the populated store (warm - every replay answered from disk). All
+// datasets are checked byte-identical to the storeless reference before
+// any timing is recorded; the warm/cold ratio is the committed evidence
+// that a resumed run is measurably faster than recomputing. With -store
+// the store lives in that directory (and persists); by default it is a
+// temporary directory removed afterwards.
+//
 // Usage:
 //
 //	benchgen [-scale small] [-runs 3] [-out BENCH_generate.json]
 //	         [-ext-archs 200] [-multicore N [-multicore-comment ...]]
+//	         [-store dir] [-store-budget bytes]
 //	         [-check BENCH_generate.json [-check-slack 0.10]
-//	          [-check-slack-extended 0.40] [-check-slack-multicore 0.35]]
+//	          [-check-slack-extended 0.40] [-check-slack-multicore 0.35]
+//	          [-check-slack-store 0.50]]
 //	         [-tiny-speedup X] [-baseline-seconds S [-baseline-comment ...]]
 //	         [-cpuprofile file] [-memprofile file]
 //
@@ -59,6 +71,7 @@ import (
 	"portcc/internal/experiments"
 	"portcc/internal/opt"
 	"portcc/internal/prog"
+	"portcc/internal/store"
 	"portcc/internal/trace"
 	"portcc/internal/uarch"
 )
@@ -118,6 +131,18 @@ type result struct {
 	MCMevcs   float64 `json:"multicore_batched_mevcs,omitempty"`
 	MCSpeedup float64 `json:"multicore_speedup,omitempty"`
 	MCComment string  `json:"multicore_comment,omitempty"`
+	// Persistent result-store record: batched generation against an
+	// empty store (cold: computes and commits every replay), then
+	// against the populated store (warm: answers every replay from
+	// disk). The cold/warm ratio is the resume-speed claim of the store;
+	// both datasets are byte-identical to the storeless run by
+	// construction (checked fatally before writing). StoreEntries and
+	// StoreBytes size the populated store for the measured scale.
+	StoreColdSec     float64 `json:"store_cold_seconds,omitempty"`
+	StoreWarmSec     float64 `json:"store_warm_seconds_median,omitempty"`
+	StoreWarmSpeedup float64 `json:"store_warm_speedup,omitempty"`
+	StoreEntries     int     `json:"store_entries,omitempty"`
+	StoreBytes       int64   `json:"store_bytes,omitempty"`
 }
 
 // loadResult reads a previously written benchgen JSON document.
@@ -134,6 +159,7 @@ func loadResult(path string) (result, error) {
 func main() {
 	var cf cliutil.Flags
 	cf.RegisterProfile()
+	cf.RegisterStore()
 	scaleName := flag.String("scale", "small", "scale to measure (tiny|small|medium|paper)")
 	runs := flag.Int("runs", 3, "timed runs per path (median reported)")
 	out := flag.String("out", "BENCH_generate.json", "output JSON path")
@@ -148,6 +174,7 @@ func main() {
 	checkSlack := flag.Float64("check-slack", 0.10, "fraction the speedup may fall below the -check reference before failing")
 	checkSlackExt := flag.Float64("check-slack-extended", 0.40, "slack for the extended replay ratio (a 10x-class ratio moves more across boxes and runs than the generation ratio; losing the closed forms would drop it to ~2.5x, far below any slack)")
 	checkSlackMC := flag.Float64("check-slack-multicore", 0.35, "slack for the multicore ratio (scheduling noise dwarfs the single-run slack)")
+	checkSlackStore := flag.Float64("check-slack-store", 0.50, "slack for the store warm/cold ratio (disk-speed-sensitive; losing the store entirely would pin it at ~1.0, below any slack)")
 	flag.Parse()
 	stopProfiles, err := cf.StartProfiles()
 	if err != nil {
@@ -162,13 +189,6 @@ func main() {
 	cfg := scale.GenConfig(false)
 	ctx := context.Background()
 
-	encode := func(ds *dataset.Dataset) []byte {
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(ds); err != nil {
-			log.Fatal(err)
-		}
-		return buf.Bytes()
-	}
 	time1 := func(naive bool) (time.Duration, *dataset.Dataset) {
 		t0 := time.Now()
 		ds, err := dataset.GenerateWith(ctx, cfg, dataset.ExploreOptions{Naive: naive})
@@ -224,7 +244,7 @@ func main() {
 		TraceReuses:   stats.TraceReuses,
 		TraceGens:     stats.TraceGens,
 		TraceEvents:   stats.TraceEvents,
-		Identical:     bytes.Equal(encode(naiveDS), encode(batchDS)),
+		Identical:     bytes.Equal(encodeDS(naiveDS), encodeDS(batchDS)),
 		TinySpeedup:   *tinySpeedup,
 	}
 	if *baseline > 0 {
@@ -235,12 +255,13 @@ func main() {
 	if !r.Identical {
 		log.Fatal("naive and batched datasets differ - refusing to write benchmark results")
 	}
+	measureStore(&r, cfg, *runs, cf.Store, cf.StoreBudget, encodeDS(batchDS))
 	if *extArchs > 0 {
 		measureReplay(&r, *runs, *extArchs, *multicore)
 		r.MCComment = *multicoreNote
 	}
 	if *check != "" {
-		if err := checkRegression(r, *check, *checkSlack, *checkSlackExt, *checkSlackMC); err != nil {
+		if err := checkRegression(r, *check, *checkSlack, *checkSlackExt, *checkSlackMC, *checkSlackStore); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -276,7 +297,12 @@ func main() {
 // still, and only when the run and the reference used the same
 // -multicore value: a ratio measured at a different worker count is a
 // different experiment.
-func checkRegression(r result, path string, slack, slackExt, slackMC float64) error {
+// The store warm/cold ratio gates only when the scales match (the store
+// overhead is per-entry, so the ratio does not port across grid sizes)
+// at the widest slack of all: it mixes disk and compute speed. Its job
+// is to catch the store silently not being hit at all - that pins the
+// ratio at ~1.0, far below any committed reference minus slack.
+func checkRegression(r result, path string, slack, slackExt, slackMC, slackStore float64) error {
 	ref, err := loadResult(path)
 	if err != nil {
 		return fmt.Errorf("-check: %w", err)
@@ -316,7 +342,87 @@ func checkRegression(r result, path string, slack, slackExt, slackMC float64) er
 		fmt.Printf("check ok: multicore (GOMAXPROCS=%d) speedup %.3f >= %.3f (reference %.3f, slack %.0f%%)\n",
 			r.MCProcs, r.MCSpeedup, floor, ref.MCSpeedup, slackMC*100)
 	}
+	if r.StoreWarmSpeedup > 0 && ref.StoreWarmSpeedup > 0 && ref.Scale == r.Scale {
+		floor := ref.StoreWarmSpeedup * (1 - slackStore)
+		if r.StoreWarmSpeedup < floor {
+			return fmt.Errorf("-check: store warm speedup %.3f is below %.3f (reference %.3f from %s, slack %.0f%%)",
+				r.StoreWarmSpeedup, floor, ref.StoreWarmSpeedup, path, slackStore*100)
+		}
+		fmt.Printf("check ok: store warm speedup %.3f >= %.3f (reference %.3f, slack %.0f%%)\n",
+			r.StoreWarmSpeedup, floor, ref.StoreWarmSpeedup, slackStore*100)
+	}
 	return nil
+}
+
+// encodeDS is the byte-identity yardstick: the gob encoding datasets
+// are compared and committed with.
+func encodeDS(ds *dataset.Dataset) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ds); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// measureStore fills the persistent result-store record: one batched
+// generation against an empty store (cold - computes every replay and
+// commits it), then runs generations against the populated store (warm
+// - answers every replay from disk, median reported). Both paths must
+// produce bytes identical to the storeless reference dataset, and the
+// warm runs must actually hit the store - a warm run that recomputes
+// is a broken store, not a slow one, and fails the tool. With dir
+// empty the store lives in a temporary directory removed afterwards;
+// a named -store dir persists (and is NOT cold on a second benchgen
+// run there, so leave it empty for committed measurements).
+func measureStore(r *result, cfg dataset.GenConfig, runs int, dir string, budget int64, ref []byte) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "benchgen-store-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	gen := func() (float64, *dataset.Dataset, store.Stats) {
+		rs, err := dataset.OpenResultStore(dir, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		ds, err := dataset.GenerateWith(context.Background(), cfg, dataset.ExploreOptions{Store: rs})
+		el := time.Since(t0).Seconds()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := rs.Stats()
+		rs.Close()
+		return el, ds, st
+	}
+	coldSec, coldDS, coldStats := gen()
+	if !bytes.Equal(encodeDS(coldDS), ref) {
+		log.Fatal("store-backed (cold) dataset differs from the storeless run - refusing to write benchmark results")
+	}
+	fmt.Printf("store cold: %.2fs (%d entries, %d bytes committed)\n",
+		coldSec, coldStats.Entries, coldStats.Bytes)
+	var warm []float64
+	for i := 0; i < runs; i++ {
+		sec, ds, st := gen()
+		if !bytes.Equal(encodeDS(ds), ref) {
+			log.Fatal("store-backed (warm) dataset differs from the storeless run - refusing to write benchmark results")
+		}
+		if st.Hits == 0 || st.Misses > 0 {
+			log.Fatalf("warm run %d recomputed instead of hitting the store (%d hits, %d misses) - refusing to write benchmark results",
+				i, st.Hits, st.Misses)
+		}
+		warm = append(warm, sec)
+	}
+	sort.Float64s(warm)
+	r.StoreColdSec = coldSec
+	r.StoreWarmSec = warm[len(warm)/2]
+	r.StoreWarmSpeedup = coldSec / r.StoreWarmSec
+	r.StoreEntries = coldStats.Entries
+	r.StoreBytes = coldStats.Bytes
+	fmt.Printf("store warm: %.2fs (median); %.2fx over cold\n", r.StoreWarmSec, r.StoreWarmSpeedup)
 }
 
 // measureReplay fills the extended-space replay records: the fixed gs

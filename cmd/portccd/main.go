@@ -7,6 +7,14 @@
 // Usage:
 //
 //	portccd [-listen :7077] [-workers N] [-sweep-workers N] [-heartbeat 1s]
+//	        [-store dir] [-store-budget bytes]
+//
+// With -store the daemon keeps a persistent content-addressed result
+// store shared by every run it serves: replays whose inputs match a
+// stored entry are answered from disk, so a daemon restarted after a
+// crash (kill -9 included) serves the resubmitted grid mostly from
+// cache. Result streams are bit-identical with or without the store;
+// corrupt entries are quarantined and recomputed.
 //
 // The wire handshake carries the protocol and dataset schema versions,
 // so a coordinator built against a different schema is refused with a
@@ -53,7 +61,20 @@ func main() {
 	sweepWorkers := flag.Int("sweep-workers", 0,
 		"per-cell sweep parallelism of batched replays (0 = auto-tune against GOMAXPROCS)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "liveness heartbeat period on quiet connections")
+	storeDir := flag.String("store", "", "persistent result-store directory shared across runs (empty = none)")
+	storeBudget := flag.Int64("store-budget", 0, "result-store size bound in bytes, LRU-evicted (0 = unbounded)")
 	flag.Parse()
+
+	var rstore *dataset.ResultStore
+	if *storeDir != "" {
+		var err error
+		rstore, err = dataset.OpenResultStore(*storeDir, *storeBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rstore.Close()
+		log.Printf("result store at %s (budget %d bytes)", *storeDir, *storeBudget)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -80,7 +101,7 @@ func main() {
 		time.AfterFunc(2*time.Second, func() { os.Exit(1) })
 	}()
 
-	cfg := dataset.ServeConfigWith(*workers, *sweepWorkers, *heartbeat)
+	cfg := dataset.ServeConfigStore(*workers, *sweepWorkers, *heartbeat, rstore)
 	cfg.Drain = drain
 	cfg.Logf = log.Printf
 	if err := sched.Serve(ctx, ln, cfg); err != nil {

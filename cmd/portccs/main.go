@@ -7,6 +7,7 @@
 //
 //	portccs -model model.gob [-addr :7078] [-cache N]
 //	        [-max-inflight N] [-max-queue N] [-reload dur]
+//	        [-store dir] [-store-budget bytes]
 //
 // Endpoints:
 //
@@ -19,9 +20,13 @@
 // Profiling parameters come from the artifact, so served feature
 // vectors match the model's training distribution; repeat
 // (program, uarch) queries hit an LRU feature cache and skip the
-// profiling simulation entirely. When the artifact file changes on
-// disk it is hot-reloaded (content-fingerprint checked); excess load
-// beyond the admission bounds is shed with HTTP 429 + Retry-After.
+// profiling simulation entirely. With -store the profiling replays
+// also hit a persistent content-addressed result store, so a restarted
+// server warms from disk instead of re-simulating its fleet's programs
+// (store health is visible as portccs_store_* counters on /metrics).
+// When the artifact file changes on disk it is hot-reloaded
+// (content-fingerprint checked); excess load beyond the admission
+// bounds is shed with HTTP 429 + Retry-After.
 //
 // The first SIGTERM (or SIGINT) drains gracefully: the listener stops
 // accepting, in-flight predictions finish and their responses are
@@ -44,6 +49,7 @@ func main() {
 	var cf cliutil.Flags
 	cf.RegisterModel("model artifact to serve (required; from trainer -model-out)")
 	cf.RegisterAddr(":7078")
+	cf.RegisterStore()
 	cacheEntries := flag.Int("cache", 0, "feature-cache capacity in (program, uarch) entries (0 = default 1024)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently executing predictions (0 = GOMAXPROCS)")
 	maxQueue := flag.Int("max-queue", 0, "max predictions queued for a slot before shedding 429s (0 = 4x max-inflight)")
@@ -54,12 +60,21 @@ func main() {
 	if cf.Model == "" {
 		log.Fatal("-model is required (train one with: trainer -scale tiny -model-out model.gob)")
 	}
+	rstore, err := cf.OpenStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rstore != nil {
+		defer rstore.Close()
+		log.Printf("result store at %s", cf.Store)
+	}
 	srv, err := serve.New(serve.Config{
 		ModelPath:    cf.Model,
 		CacheEntries: *cacheEntries,
 		MaxInFlight:  *maxInFlight,
 		MaxQueue:     *maxQueue,
 		ReloadEvery:  *reload,
+		Store:        rstore,
 		Logf:         log.Printf,
 	})
 	if err != nil {

@@ -18,10 +18,18 @@
 // the profiling parameters, so deployments reproduce the training
 // feature distribution.
 //
+// With -store the generation is resumable: replay results are committed
+// to a persistent content-addressed store as they are produced, and a
+// rerun after any interruption (kill -9 included) answers the already-
+// computed cells from disk, writing a byte-identical dataset. Corrupt
+// store entries are quarantined and recomputed; a full disk degrades to
+// cache misses.
+//
 // Usage:
 //
 //	trainer -out dataset.gob [-model-out model.gob] [-scale small]
 //	        [-archs N] [-opts N] [-extended] [-workers N] [-sweep-workers N]
+//	        [-store dir] [-store-budget bytes]
 //	        [-shards host:port,host:port]
 //	        [-shard-retries N] [-shard-backoff dur]
 //	        [-cpuprofile file] [-memprofile file]
@@ -46,6 +54,7 @@ func main() {
 	cf.RegisterSweepWorkers()
 	cf.RegisterShards()
 	cf.RegisterShardRetry()
+	cf.RegisterStore()
 	cf.RegisterProfile()
 	out := flag.String("out", "dataset.gob", "output file")
 	modelOut := flag.String("model-out", "", "also train the model and write it as a versioned artifact")
@@ -73,6 +82,10 @@ func main() {
 	}
 
 	shards := cf.Shards()
+	rstore, err := cf.OpenStore()
+	if err != nil {
+		log.Fatal(err)
+	}
 	report, finishProgress := cliutil.ProgressPrinter(os.Stderr, len(shards))
 	sessionOpts := []portcc.Option{
 		portcc.WithScale(scale),
@@ -84,6 +97,10 @@ func main() {
 	}
 	if *naive {
 		sessionOpts = append(sessionOpts, portcc.WithNaiveCompile())
+	}
+	if rstore != nil {
+		sessionOpts = append(sessionOpts, portcc.WithResultStore(rstore))
+		defer rstore.Close()
 	}
 	session := portcc.NewSession(sessionOpts...)
 
@@ -102,6 +119,9 @@ func main() {
 	nP, nA, nO := ds.Dims()
 	fmt.Printf("wrote %s: %d pairs (%d x %d), %d settings each, in %s\n",
 		*out, nP*nA, nP, nA, nO, time.Since(start).Round(time.Second))
+	if line := cliutil.StoreStats(rstore); line != "" {
+		fmt.Println(line)
+	}
 
 	if *modelOut != "" {
 		model, err := portcc.TrainModel(ds)

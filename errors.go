@@ -52,6 +52,13 @@ var (
 	// back typed), the run stops at the panicking cell's index, and the
 	// error is not a shard failure: the shard stays healthy.
 	ErrCellPanic = pcerr.ErrCellPanic
+	// ErrStoreCorrupt reports a persistent result-store entry
+	// (WithResultStore) that failed validation on read: truncated,
+	// bit-flipped, version-mismatched or half-written. The store
+	// quarantines the entry and the replay is recomputed, so the error
+	// never surfaces from session methods - it is observable in the
+	// store's Stats and logs only, and never carries wrong data.
+	ErrStoreCorrupt = pcerr.ErrStoreCorrupt
 )
 
 type (

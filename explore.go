@@ -66,6 +66,7 @@ func (s *Session) exploreOptions() dataset.ExploreOptions {
 		Shards:       s.cfg.shards,
 		Retry:        s.cfg.retry,
 		Naive:        s.cfg.naive,
+		Store:        s.cfg.store,
 	}
 	if fn := s.cfg.progress; fn != nil {
 		o.Progress = func(done, total int) { fn(Progress{Done: done, Total: total}) }

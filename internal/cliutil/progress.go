@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"portcc/internal/dataset"
 	"portcc/internal/sched"
 )
 
@@ -29,6 +30,8 @@ type Flags struct {
 	SweepWorkers int
 	Model        string
 	Addr         string
+	Store        string
+	StoreBudget  int64
 	shards       string
 	shardRetries int
 	shardBackoff time.Duration
@@ -105,6 +108,43 @@ func (f *Flags) StartProfiles() (stop func(), err error) {
 			log.Printf("-memprofile: %v", err)
 		}
 	}, nil
+}
+
+// RegisterStore installs the shared -store and -store-budget flags: the
+// directory of the persistent content-addressed result store replays
+// are answered from and committed to, and its LRU byte budget. A run
+// killed mid-flight resumes from the store byte-identically; corrupt
+// entries are quarantined and recomputed; a full or broken disk only
+// costs cache hits, never correctness.
+func (f *Flags) RegisterStore() {
+	flag.StringVar(&f.Store, "store", "",
+		"persistent result-store directory for resumable generation (empty = none)")
+	flag.Int64Var(&f.StoreBudget, "store-budget", 0,
+		"result-store size bound in bytes, LRU-evicted (0 = unbounded)")
+}
+
+// OpenStore opens the result store the store flags describe, returning
+// (nil, nil) when -store is unset. The caller owns Close.
+func (f *Flags) OpenStore() (*dataset.ResultStore, error) {
+	if f.Store == "" {
+		return nil, nil
+	}
+	rs, err := dataset.OpenResultStore(f.Store, f.StoreBudget)
+	if err != nil {
+		return nil, fmt.Errorf("cliutil: -store: %w", err)
+	}
+	return rs, nil
+}
+
+// StoreStats formats a one-line summary of a store's ledger for tool
+// output; empty when no store is attached.
+func StoreStats(rs *dataset.ResultStore) string {
+	if rs == nil {
+		return ""
+	}
+	s := rs.Stats()
+	return fmt.Sprintf("store: %d hits, %d misses, %d corrupt quarantined, %d put errors (%d entries, %d bytes, %d evicted)",
+		s.Hits, s.Misses, s.Corrupt, s.PutErrors, s.Entries, s.Bytes, s.Evictions)
 }
 
 // RegisterModel installs the shared -model flag: the path of a trained

@@ -21,6 +21,14 @@ import (
 	"portcc/internal/uarch"
 )
 
+// ReplayVersion is the replay-semantics version of this model: any
+// change that alters the counters a given (trace, configuration) pair
+// produces - timing rules, energy coefficients, counter definitions -
+// must bump it. Persistent caches of simulation results (the
+// content-addressed result store) key on it, so stale results from an
+// older model are clean misses instead of silently wrong data.
+const ReplayVersion = 1
+
 // Result is the outcome of simulating one trace on one configuration.
 type Result struct {
 	Cycles uint64

@@ -164,6 +164,10 @@ type Evaluator struct {
 	// share via SetSweepWorkers so the two levels together match the
 	// machine (see internal/tune).
 	sweepWorkers int
+	// rstore, when set, is the persistent content-addressed result store
+	// replays are answered from and committed to (SetStore). Typically
+	// shared by every evaluator of a pool.
+	rstore *ResultStore
 
 	mu      sync.Mutex
 	modules map[string]*ir.Module
@@ -233,6 +237,13 @@ type Stats struct {
 
 	TraceGens   int64
 	TraceEvents int64
+
+	// StoreHits, StoreMisses and StoreCorrupt mirror the attached
+	// persistent result store's ledger (zero without one): replays
+	// answered from disk, replays that had to run, and entries
+	// quarantined as corrupt. The counters are store-global, so
+	// evaluators sharing a store report the shared totals.
+	StoreHits, StoreMisses, StoreCorrupt int64
 }
 
 // Stats returns the work counters under the evaluator's lock, safe
@@ -240,7 +251,7 @@ type Stats struct {
 func (e *Evaluator) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Compiles:      e.Compiles,
 		Simulations:   e.Simulations,
 		PassRuns:      e.passRuns,
@@ -249,6 +260,44 @@ func (e *Evaluator) Stats() Stats {
 		TraceGens:     e.traceGens,
 		TraceEvents:   e.traceEvents,
 	}
+	if e.rstore != nil {
+		ss := e.rstore.Stats()
+		st.StoreHits, st.StoreMisses, st.StoreCorrupt = ss.Hits, ss.Misses, ss.Corrupt
+	}
+	return st
+}
+
+// SetStore attaches a persistent result store: replays whose inputs
+// match a stored entry are answered from disk, fresh replays are
+// committed back. Results are bit-identical with or without a store
+// (the key pins every replay input); a broken store degrades to
+// cold-cache speed, never to wrong data.
+func (e *Evaluator) SetStore(rs *ResultStore) {
+	e.mu.Lock()
+	e.rstore = rs
+	e.mu.Unlock()
+}
+
+// resultStore returns the attached store, nil when none.
+func (e *Evaluator) resultStore() *ResultStore {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rstore
+}
+
+// Runs returns the program's complete-run count, compiling the -O3
+// probe on first use (deduplicated across a pool by the shared base).
+// The batched sweep runner uses it to derive store keys without
+// touching traces.
+func (e *Evaluator) Runs(name string) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, err := e.module(name)
+	if err != nil {
+		return 0, err
+	}
+	runs, _, _, err := e.runsFor(name, m)
+	return runs, err
 }
 
 // countTraceGen records one performed trace generation. Called with e.mu
@@ -606,13 +655,63 @@ func (e *Evaluator) simulate(tr *trace.Trace, a uarch.Config) cpu.Result {
 	return r
 }
 
-// Run simulates program name compiled under c on architecture a.
+// Run simulates program name compiled under c on architecture a. With
+// a result store attached and the trace not already resident, the
+// replay is answered from disk when a matching entry exists - compile
+// only, no trace generation, no simulation - which is what makes a
+// store-backed prediction server's profile cache persistent across
+// restarts.
 func (e *Evaluator) Run(name string, c *opt.Config, a uarch.Config) (cpu.Result, error) {
-	tr, _, err := e.Trace(name, c)
+	key := name + "/" + c.Key()
+	e.mu.Lock()
+	st := e.rstore
+	_, resident := e.traces[key]
+	e.mu.Unlock()
+	if st == nil || resident {
+		// No store, or the trace is already in memory: replaying the
+		// resident trace is cheaper than a disk round-trip would save.
+		tr, _, err := e.Trace(name, c)
+		if err != nil {
+			return cpu.Result{}, err
+		}
+		return e.simulate(tr, a), nil
+	}
+
+	// Store path: the compile (cheap, architecture-independent) yields
+	// the binary fingerprint that addresses the stored replay.
+	e.mu.Lock()
+	m, err := e.module(name)
+	if err != nil {
+		e.mu.Unlock()
+		return cpu.Result{}, err
+	}
+	runs, _, _, err := e.runsFor(name, m)
+	cfg := e.cfg
+	e.mu.Unlock()
 	if err != nil {
 		return cpu.Result{}, err
 	}
-	return e.simulate(tr, a), nil
+	p, err := core.Compile(m, c)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	e.mu.Lock()
+	e.Compiles++
+	e.passRuns += planSteps(c, m)
+	e.mu.Unlock()
+	fp, _ := codegen.FingerprintInto(p, nil)
+	archs := []uarch.Config{a}
+	if rs, ok := st.Get(fp, runs, cfg, archs); ok {
+		return rs[0], nil
+	}
+	tr := trace.Generate(p, trace.Config{Runs: runs, MaxInsns: cfg.MaxInsns, Seed: cfg.Seed})
+	e.mu.Lock()
+	e.countTraceGen(tr)
+	e.insertTrace(key, tr, p)
+	e.mu.Unlock()
+	r := e.simulate(tr, a)
+	st.Put(fp, runs, cfg, archs, []cpu.Result{r})
+	return r, nil
 }
 
 // CyclesPerRun returns cycles normalised by complete program runs, the

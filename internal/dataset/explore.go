@@ -144,6 +144,13 @@ type ExploreOptions struct {
 	// at every setting. Like Workers it is an execution parameter: a
 	// sharded run's sweeps are sized daemon-side (portccd -sweep-workers).
 	SweepWorkers int
+	// Store, when set, is the persistent content-addressed result store
+	// the batched path answers replays from and commits them to, making
+	// generation resumable: a run killed mid-flight restarts with most
+	// cells served from disk and a byte-identical dataset. Like Workers
+	// it is an execution parameter and never serialised; a sharded run's
+	// stores live daemon-side (portccd -store).
+	Store *ResultStore
 }
 
 // executor picks the scheduling backend the options describe.
@@ -230,7 +237,14 @@ func (r *ExploreRequest) Runner(slots int) func(slot, index int) (any, error) {
 // slot fan-out cannot occupy go to each slot's sweeps, see
 // internal/tune; results are bit-identical at every setting).
 func (r *ExploreRequest) RunnerWith(slots, sweepWorkers int) func(slot, index int) (any, error) {
-	run, _ := r.runner(slots, sweepWorkers)
+	return r.RunnerStore(slots, sweepWorkers, nil)
+}
+
+// RunnerStore is RunnerWith with a persistent result store every slot's
+// evaluator answers replays from and commits them to (nil = no store).
+// Results are bit-identical with or without one.
+func (r *ExploreRequest) RunnerStore(slots, sweepWorkers int, st *ResultStore) func(slot, index int) (any, error) {
+	run, _ := r.runner(slots, sweepWorkers, st)
 	return run
 }
 
@@ -240,13 +254,23 @@ func (r *ExploreRequest) RunnerWith(slots, sweepWorkers int) func(slot, index in
 // benchmark harness uses it to report pass runs saved without a
 // profiler.
 func (r *ExploreRequest) InstrumentedRunner() (func(slot, index int) (any, error), *Evaluator) {
-	run, evs := r.runner(1, 1)
+	return r.InstrumentedRunnerStore(nil)
+}
+
+// InstrumentedRunnerStore is InstrumentedRunner with a persistent
+// result store attached to the slot's evaluator (nil = none); the
+// benchmark harness uses it to measure warm-store replay speed.
+func (r *ExploreRequest) InstrumentedRunnerStore(st *ResultStore) (func(slot, index int) (any, error), *Evaluator) {
+	run, evs := r.runner(1, 1, st)
 	evs[0] = NewEvaluatorWith(r.Eval, nil)
 	evs[0].SetSweepWorkers(1)
+	if st != nil {
+		evs[0].SetStore(st)
+	}
 	return run, evs[0]
 }
 
-func (r *ExploreRequest) runner(slots, sweepWorkers int) (func(slot, index int) (any, error), []*Evaluator) {
+func (r *ExploreRequest) runner(slots, sweepWorkers int, st *ResultStore) (func(slot, index int) (any, error), []*Evaluator) {
 	cells := r.cells()
 	base := NewSharedBase()
 	evs := make([]*Evaluator, slots)
@@ -263,6 +287,9 @@ func (r *ExploreRequest) runner(slots, sweepWorkers int) (func(slot, index int) 
 		if evs[slot] == nil {
 			evs[slot] = NewEvaluatorWith(r.Eval, base)
 			evs[slot].SetSweepWorkers(sweepWorkers)
+			if st != nil {
+				evs[slot].SetStore(st)
+			}
 		}
 		var res ExploreResult
 		var err error
@@ -291,6 +318,15 @@ func ServeConfig(workers int, heartbeat time.Duration) sched.ServeConfig {
 // GOMAXPROCS; portccd exposes it as -sweep-workers). Streams are
 // bit-identical at every setting.
 func ServeConfigWith(workers, sweepWorkers int, heartbeat time.Duration) sched.ServeConfig {
+	return ServeConfigStore(workers, sweepWorkers, heartbeat, nil)
+}
+
+// ServeConfigStore is ServeConfigWith with a persistent result store
+// shared by every run the daemon serves (nil = none; portccd exposes it
+// as -store/-store-budget): a daemon restarted after a crash answers
+// the resubmitted grid's replays from disk. Streams are bit-identical
+// with or without a store.
+func ServeConfigStore(workers, sweepWorkers int, heartbeat time.Duration, st *ResultStore) sched.ServeConfig {
 	return sched.ServeConfig{
 		Format:    FormatVersion,
 		Workers:   workers,
@@ -303,7 +339,7 @@ func ServeConfigWith(workers, sweepWorkers int, heartbeat time.Duration) sched.S
 			if err := req.Validate(); err != nil {
 				return nil, err
 			}
-			return req.RunnerWith(sched.Workers(workers, req.Cells()), sweepWorkers), nil
+			return req.RunnerStore(sched.Workers(workers, req.Cells()), sweepWorkers, st), nil
 		},
 	}
 }
@@ -358,7 +394,7 @@ func Explore(ctx context.Context, req ExploreRequest, o ExploreOptions) iter.Seq
 			// Remote execution never runs cells coordinator-side; the
 			// evaluator pool exists only on the local path, so sharded
 			// runs do not allocate a dead runner.
-			job.Run = req.RunnerWith(sched.Workers(o.Workers, total), o.SweepWorkers)
+			job.Run = req.RunnerStore(sched.Workers(o.Workers, total), o.SweepWorkers, o.Store)
 		}
 		var firstErr error
 		var protoOnce sync.Once

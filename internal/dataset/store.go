@@ -1,0 +1,200 @@
+// The persistent result store: a content-addressed on-disk cache of
+// per-architecture replay results, keyed so a hit is provably the same
+// computation - binary fingerprint (identical placed image => identical
+// trace under a fixed seed), workload parameters, architecture range
+// and the replay-model version. Generation threaded through a store
+// survives kill -9: a restart with the same directory answers most
+// cells from disk and produces byte-identical datasets.
+//
+// Store failures are never failures of the run. Every Get/Put error is
+// absorbed into counters: corrupt entries are quarantined (typed
+// pcerr.ErrStoreCorrupt inside the store) and recomputed, ENOSPC/EIO
+// degrade Puts to cache misses, a dead store directory degrades the
+// whole run to cold-cache speed. Wrong results are impossible by
+// construction - the key pins every input of the computation and the
+// payload carries the store's end-to-end checksum.
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"portcc/internal/codegen"
+	"portcc/internal/cpu"
+	"portcc/internal/faultfs"
+	"portcc/internal/store"
+	"portcc/internal/uarch"
+)
+
+// resultKeySchema versions the key-material layout below; bump on any
+// change so old entries become unreachable rather than misinterpreted.
+const resultKeySchema = 1
+
+// resultFields is the number of uint64 counters in cpu.Result, the
+// fixed part of the payload codec (EnergyNJ rides as float64 bits).
+const resultFields = 18
+
+// ResultStore adapts the generic content-addressed store to the
+// dataset pipeline: it derives keys from replay inputs and encodes
+// result batches with a deterministic fixed-width codec (no gob - the
+// payload bytes must be identical across processes and runs so the
+// store stays content-addressed in spirit as well as in key).
+//
+// All methods are safe for concurrent use and absorb store failures:
+// Get returns ok=false on miss, corruption (quarantined inside the
+// store) and I/O trouble alike; Put's failures only show in Stats.
+type ResultStore struct {
+	s *store.Store
+}
+
+// OpenResultStore opens (creating if needed) a result store rooted at
+// dir, bounded to budget bytes (0 = unbounded).
+func OpenResultStore(dir string, budget int64) (*ResultStore, error) {
+	return OpenResultStoreFS(dir, budget, nil)
+}
+
+// OpenResultStoreFS is OpenResultStore on an explicit filesystem;
+// chaos tests inject faultfs schedules here.
+func OpenResultStoreFS(dir string, budget int64, fs faultfs.FS) (*ResultStore, error) {
+	s, err := store.Open(store.Options{Dir: dir, Budget: budget, FS: fs})
+	if err != nil {
+		return nil, err
+	}
+	return &ResultStore{s: s}, nil
+}
+
+// Close compacts and closes the store's journal.
+func (rs *ResultStore) Close() error { return rs.s.Close() }
+
+// Stats returns the underlying store's operation ledger. The counters
+// are store-global: evaluators sharing one store share one ledger.
+func (rs *ResultStore) Stats() store.Stats { return rs.s.Stats() }
+
+// resultKey derives the content address of one replay: everything the
+// produced counters depend on is hashed in. The binary fingerprint
+// stands in for (program, optimisation setting) - byte-identical
+// binaries yield identical traces under a fixed seed, so twin settings
+// share entries by design, exactly like the in-memory replay memo.
+func resultKey(fp codegen.Fingerprint, runs int, cfg EvalConfig, archs []uarch.Config) store.Key {
+	material := make([]byte, 0, 64+len(archs)*80)
+	le := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		material = append(material, b[:]...)
+	}
+	material = append(material, "portcc-result\n"...)
+	le(resultKeySchema)
+	le(FormatVersion)
+	le(cpu.ReplayVersion)
+	material = append(material, fp[:]...)
+	le(uint64(runs))
+	le(uint64(cfg.Seed))
+	le(uint64(cfg.MaxInsns))
+	le(uint64(len(archs)))
+	for _, a := range archs {
+		for _, v := range []int{
+			a.IL1Size, a.IL1Assoc, a.IL1Block,
+			a.DL1Size, a.DL1Assoc, a.DL1Block,
+			a.BTBSize, a.BTBAssoc, a.FreqMHz, a.Width,
+		} {
+			le(uint64(v))
+		}
+	}
+	return store.KeyOf(material)
+}
+
+// encodeResults packs a result batch into the deterministic payload:
+// u64 count, then per result the 18 counters and EnergyNJ as float64
+// bits, all little-endian. Result.Config is not stored - it is an echo
+// of the key's architecture slice, reconstructed on decode.
+func encodeResults(results []cpu.Result) []byte {
+	out := make([]byte, 0, 8+len(results)*(resultFields+1)*8)
+	le := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		out = append(out, b[:]...)
+	}
+	le(uint64(len(results)))
+	for i := range results {
+		r := &results[i]
+		for _, v := range []uint64{
+			r.Cycles, r.Insns,
+			r.ICAccesses, r.ICMisses,
+			r.DCAccesses, r.DCMisses,
+			r.BTBLookups, r.Mispredicts,
+			r.Decodes, r.RegReads, r.RegWrites,
+			r.ALUOps, r.MACOps, r.ShiftOps,
+			r.FetchStalls, r.MemStalls, r.DepStalls, r.BranchStalls,
+		} {
+			le(v)
+		}
+		le(math.Float64bits(r.EnergyNJ))
+	}
+	return out
+}
+
+// decodeResults unpacks a payload against the expected architecture
+// slice. Any shape mismatch is reported as an error - the caller
+// quarantines, because a payload that passed the store's checksum but
+// not the codec means a key collision or codec bug, and recomputation
+// wins either way.
+func decodeResults(payload []byte, archs []uarch.Config) ([]cpu.Result, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("payload %d bytes, want >= 8", len(payload))
+	}
+	n := binary.LittleEndian.Uint64(payload)
+	want := 8 + int(n)*(resultFields+1)*8
+	if n != uint64(len(archs)) || len(payload) != want {
+		return nil, fmt.Errorf("payload shape %d results/%d bytes, want %d/%d", n, len(payload), len(archs), want)
+	}
+	results := make([]cpu.Result, len(archs))
+	off := 8
+	u := func() uint64 {
+		v := binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+		return v
+	}
+	for i := range results {
+		r := &results[i]
+		r.Cycles, r.Insns = u(), u()
+		r.ICAccesses, r.ICMisses = u(), u()
+		r.DCAccesses, r.DCMisses = u(), u()
+		r.BTBLookups, r.Mispredicts = u(), u()
+		r.Decodes, r.RegReads, r.RegWrites = u(), u(), u()
+		r.ALUOps, r.MACOps, r.ShiftOps = u(), u(), u()
+		r.FetchStalls, r.MemStalls, r.DepStalls, r.BranchStalls = u(), u(), u(), u()
+		r.EnergyNJ = math.Float64frombits(u())
+		r.Config = archs[i]
+	}
+	return results, nil
+}
+
+// Get looks up the replay identified by (fp, runs, cfg, archs) and
+// returns its results when a valid entry exists. Misses, corruption
+// (quarantined by the store, typed internally) and I/O failures all
+// return ok=false: the caller recomputes, and the distinction lives in
+// Stats.
+func (rs *ResultStore) Get(fp codegen.Fingerprint, runs int, cfg EvalConfig, archs []uarch.Config) ([]cpu.Result, bool) {
+	k := resultKey(fp, runs, cfg, archs)
+	payload, ok, _ := rs.s.Get(k)
+	if !ok {
+		return nil, false
+	}
+	results, err := decodeResults(payload, archs)
+	if err != nil {
+		rs.s.Quarantine(k, err)
+		return nil, false
+	}
+	return results, true
+}
+
+// Put commits the replay's results. Failures degrade silently (the
+// entry is simply not cached; Stats counts it) - a full disk must not
+// abort a generation run.
+func (rs *ResultStore) Put(fp codegen.Fingerprint, runs int, cfg EvalConfig, archs []uarch.Config, results []cpu.Result) {
+	if len(results) != len(archs) {
+		return
+	}
+	rs.s.Put(resultKey(fp, runs, cfg, archs), encodeResults(results))
+}

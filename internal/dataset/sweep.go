@@ -257,18 +257,42 @@ func (s *sweepState) evictIdleTraces(ps *progSweep, keep *traceSlot) {
 	}
 }
 
-// releaseTrace retires one architecture range of the binary's trace,
-// returning the buffer to the pool (and forgetting the slot) once every
-// range has been simulated.
+// releaseTrace retires one architecture range of the binary's trace
+// after a replay read it, returning the buffer to the pool (and
+// forgetting the slot) once every range has been simulated.
 func (s *sweepState) releaseTrace(ps *progSweep, fp codegen.Fingerprint) {
+	s.retireRange(ps, fp, true)
+}
+
+// skipRange retires one architecture range whose replay was answered by
+// the result store: no trace was read, but the range bookkeeping must
+// advance all the same, or a binary with a mix of cached and fresh
+// ranges would pin its trace buffer until the program retires.
+func (s *sweepState) skipRange(ps *progSweep, fp codegen.Fingerprint) {
+	s.retireRange(ps, fp, false)
+}
+
+// retireRange is the shared tail: drop the range (and, for a replay
+// that read the trace, the read hold), free the buffer when no range
+// and no reader remains. A skip may arrive before any slot exists -
+// the store answered before the first trace generation - in which case
+// it creates the slot so later ranges inherit correct counts.
+func (s *sweepState) retireRange(ps *progSweep, fp codegen.Fingerprint, read bool) {
 	s.mu.Lock()
 	slot := ps.traces[fp]
-	s.mu.Unlock()
 	if slot == nil {
-		return
+		if read {
+			s.mu.Unlock()
+			return
+		}
+		slot = &traceSlot{remaining: s.batches}
+		ps.traces[fp] = slot
 	}
+	s.mu.Unlock()
 	slot.mu.Lock()
-	slot.using--
+	if read {
+		slot.using--
+	}
 	slot.remaining--
 	done := slot.remaining == 0 && slot.using == 0
 	var tr *trace.Trace
@@ -329,18 +353,37 @@ func runCellBatched(ev *Evaluator, s *sweepState, c exploreCell) (ExploreResult,
 	// trace.
 	sc := s.sim(ps, simKey{fp: bt.FP, lo: c.archStart, hi: c.archEnd})
 	sc.once.Do(func() {
+		archs := req.Archs[c.archStart:c.archEnd]
+		// A persistent store answers before any trace exists: the
+		// binary fingerprint plus workload parameters address the
+		// previous run's replay of exactly this range.
+		st := ev.resultStore()
+		var runs int
+		if st != nil {
+			var err error
+			if runs, err = ev.Runs(name); err == nil {
+				if results, ok := st.Get(bt.FP, runs, ev.cfg, archs); ok {
+					sc.runs, sc.results = runs, results
+					s.skipRange(ps, bt.FP)
+					return
+				}
+			}
+		}
 		tr, err := s.traceFor(ev, ps, name, bt)
 		if err != nil {
 			sc.err = err
 			return
 		}
-		runs := tr.Runs
+		runs = tr.Runs
 		if runs < 1 {
 			runs = 1
 		}
 		sc.runs = runs
-		sc.results = ev.SimulateBatch(tr, req.Archs[c.archStart:c.archEnd])
+		sc.results = ev.SimulateBatch(tr, archs)
 		s.releaseTrace(ps, bt.FP)
+		if st != nil {
+			st.Put(bt.FP, runs, ev.cfg, archs, sc.results)
+		}
 	})
 	s.consume(ps)
 	if sc.err != nil {

@@ -49,6 +49,12 @@ var (
 	// daemon. The daemon recovers the panic and keeps serving; the cell
 	// surfaces as an ordinary typed cell failure at its grid index.
 	ErrCellPanic = errors.New("cell runner panicked")
+	// ErrStoreCorrupt reports a result-store entry that failed
+	// validation on read: truncated, bit-flipped, version-mismatched or
+	// half-written. The store quarantines the entry and callers fall
+	// back to recomputing the cell, so the error never carries wrong
+	// data - only the fact that cached data was unusable.
+	ErrStoreCorrupt = errors.New("result store entry corrupt")
 )
 
 // SimError locates a failure inside the exploration grid: which program,

@@ -69,6 +69,12 @@ type Config struct {
 	RetryAfter time.Duration
 	// ReloadEvery throttles artifact staleness checks (default 1s).
 	ReloadEvery time.Duration
+	// Store, when non-nil, is a persistent content-addressed result
+	// store backing the profiling evaluator: feature-vector replays hit
+	// it across restarts, so a redeployed server warms from disk instead
+	// of re-simulating its fleet's programs. The server does not close
+	// it.
+	Store *dataset.ResultStore
 	// Logf receives operational log lines (default: discard).
 	Logf func(string, ...any)
 }
@@ -148,6 +154,9 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf("profiling parameters %+v override the artifact's %+v: served features will differ from the training distribution", s.eval, evalFromInfo(loaded.Info))
 	}
 	s.ev = dataset.NewEvaluator(s.eval)
+	if cfg.Store != nil {
+		s.ev.SetStore(cfg.Store)
+	}
 	s.initEvalMetrics()
 
 	s.mux = http.NewServeMux()
@@ -228,6 +237,12 @@ func (s *Server) initEvalMetrics() {
 		"Traces generated by the profiling evaluator.", stat(func(st dataset.Stats) float64 { return float64(st.TraceGens) }))
 	s.reg2.CounterFunc("portccs_eval_trace_events_total",
 		"Dynamic instructions emitted into profiling traces.", stat(func(st dataset.Stats) float64 { return float64(st.TraceEvents) }))
+	s.reg2.CounterFunc("portccs_store_hits_total",
+		"Profiling replays answered from the persistent result store.", stat(func(st dataset.Stats) float64 { return float64(st.StoreHits) }))
+	s.reg2.CounterFunc("portccs_store_misses_total",
+		"Profiling replays not found in the persistent result store.", stat(func(st dataset.Stats) float64 { return float64(st.StoreMisses) }))
+	s.reg2.CounterFunc("portccs_store_corrupt_total",
+		"Corrupt result-store entries quarantined on read.", stat(func(st dataset.Stats) float64 { return float64(st.StoreCorrupt) }))
 }
 
 // ArchSpec is the JSON microarchitecture description of a predict

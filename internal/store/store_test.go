@@ -1,0 +1,456 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+
+	"portcc/internal/faultfs"
+	"portcc/internal/pcerr"
+)
+
+func mustOpen(t *testing.T, o Options) *Store {
+	t.Helper()
+	s, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func keyN(n int) Key { return KeyOf([]byte(fmt.Sprintf("key-%d", n))) }
+
+func payloadN(n int) []byte {
+	return bytes.Repeat([]byte{byte(n)}, 100+n)
+}
+
+// TestPutGetRoundtrip pins the basic contract: a committed payload
+// reads back byte-identical, an unknown key is a clean miss.
+func TestPutGetRoundtrip(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	if err := s.Put(keyN(1), payloadN(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(keyN(1))
+	if err != nil || !ok || !bytes.Equal(got, payloadN(1)) {
+		t.Fatalf("get: %v %v %q", ok, err, got)
+	}
+	if _, ok, err := s.Get(keyN(2)); ok || err != nil {
+		t.Fatalf("miss returned ok=%v err=%v", ok, err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestReopenServesEntries proves persistence: a fresh Store over the
+// same directory serves the previous process's commits.
+func TestReopenServesEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(keyN(i), payloadN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	s2 := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 5; i++ {
+		got, ok, err := s2.Get(keyN(i))
+		if err != nil || !ok || !bytes.Equal(got, payloadN(i)) {
+			t.Fatalf("entry %d after reopen: %v %v", i, ok, err)
+		}
+	}
+	if st := s2.Stats(); st.Entries != 5 {
+		t.Fatalf("reopened with %d entries, want 5", st.Entries)
+	}
+}
+
+// TestJournalLossRebuildsFromEntries deletes the index journal between
+// runs: membership must come from the entry files themselves.
+func TestJournalLossRebuildsFromEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 4; i++ {
+		if err := s.Put(keyN(i), payloadN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, journalName)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 4; i++ {
+		if _, ok, err := s2.Get(keyN(i)); !ok || err != nil {
+			t.Fatalf("entry %d without journal: %v %v", i, ok, err)
+		}
+	}
+}
+
+// TestStaleJournalIgnored writes a journal naming keys whose files do
+// not exist and omitting keys whose files do: the scan wins both ways.
+func TestStaleJournalIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	if err := s.Put(keyN(1), payloadN(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	stale := fmt.Sprintf("p %s\nGARBAGE LINE\np not-hex\n", keyN(99))
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, Options{Dir: dir})
+	if _, ok, err := s2.Get(keyN(1)); !ok || err != nil {
+		t.Fatalf("real entry lost to stale journal: %v %v", ok, err)
+	}
+	if _, ok, _ := s2.Get(keyN(99)); ok {
+		t.Fatal("journal-only phantom entry served")
+	}
+}
+
+// TestBudgetEvictsLRU proves the byte budget evicts coldest-first and a
+// Get refreshes recency.
+func TestBudgetEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	// Each entry is 100+n payload + overhead; budget fits ~3 entries.
+	s := mustOpen(t, Options{Dir: dir, Budget: 3 * (110 + int64(entryOverhead))})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(keyN(i), payloadN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch entry 0 so entry 1 is now coldest.
+	if _, ok, _ := s.Get(keyN(0)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	if err := s.Put(keyN(3), payloadN(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(keyN(1)); ok {
+		t.Fatal("coldest entry survived over budget")
+	}
+	if _, ok, _ := s.Get(keyN(0)); !ok {
+		t.Fatal("touched entry was evicted despite LRU refresh")
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+	// The evicted file is really gone from disk.
+	if _, err := os.Stat(filepath.Join(dir, keyN(1).String()+entrySuffix)); !os.IsNotExist(err) {
+		t.Fatalf("evicted entry file still present: %v", err)
+	}
+}
+
+// TestTempFilesCleanedAtOpen plants a crashed writer's temp file and
+// proves Open removes it without inventing an entry.
+func TestTempFilesCleanedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, tmpPrefix+"123-deadbeef")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, Options{Dir: dir})
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived Open: %v", err)
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("temp file became an entry: %+v", st)
+	}
+}
+
+// corruptAt flips one byte (or truncates) the entry file of k.
+func corruptAt(t *testing.T, dir string, k Key, pos int, truncate bool) {
+	t.Helper()
+	path := filepath.Join(dir, k.String()+entrySuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncate {
+		data = data[:pos%len(data)]
+	} else {
+		data[pos%len(data)] ^= 0x40
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptEntryQuarantined pins the corruption contract: a flipped
+// bit yields ErrStoreCorrupt (never wrong bytes), the file moves to
+// quarantine/, and the key misses cleanly afterwards.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	if err := s.Put(keyN(1), payloadN(1)); err != nil {
+		t.Fatal(err)
+	}
+	corruptAt(t, dir, keyN(1), 40, false)
+	_, ok, err := s.Get(keyN(1))
+	if ok {
+		t.Fatal("corrupt entry served")
+	}
+	if !errors.Is(err, pcerr.ErrStoreCorrupt) {
+		t.Fatalf("got %v, want ErrStoreCorrupt", err)
+	}
+	// Quarantined aside, not deleted: the bad bytes are kept for
+	// post-mortem under quarantine/.
+	qs, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(qs) != 1 {
+		t.Fatalf("quarantine dir: %v entries, err %v", len(qs), err)
+	}
+	// The key now misses cleanly - no second ErrStoreCorrupt, no serve.
+	if _, ok, err := s.Get(keyN(1)); ok || err != nil {
+		t.Fatalf("after quarantine: ok=%v err=%v", ok, err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// A fresh Put of the same key recovers the entry.
+	if err := s.Put(keyN(1), payloadN(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := s.Get(keyN(1)); !ok || err != nil || !bytes.Equal(got, payloadN(1)) {
+		t.Fatalf("re-put after quarantine: %v %v", ok, err)
+	}
+}
+
+// TestVersionMismatchQuarantined rewrites an entry's version byte: the
+// store must refuse it typed, like any other corruption.
+func TestVersionMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	if err := s.Put(keyN(1), payloadN(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the version byte and fix the trailer so only the version is
+	// wrong - the strictest test of the version check.
+	path := filepath.Join(dir, keyN(1).String()+entrySuffix)
+	data, _ := os.ReadFile(path)
+	data[len(entryMagic)] = entryVersion + 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(keyN(1)); ok || !errors.Is(err, pcerr.ErrStoreCorrupt) {
+		t.Fatalf("version-mismatched entry: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCorruptionMatrix sweeps truncation points and bit flips across
+// the whole entry layout: every mutation must yield ErrStoreCorrupt or
+// a clean miss - never a wrong payload.
+func TestCorruptionMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		dir := t.TempDir()
+		s := mustOpen(t, Options{Dir: dir})
+		payload := make([]byte, 1+rng.Intn(600))
+		rng.Read(payload)
+		k := keyN(trial)
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		corruptAt(t, dir, k, rng.Intn(len(payload)+entryOverhead), rng.Intn(2) == 0)
+		got, ok, err := s.Get(k)
+		if ok && !bytes.Equal(got, payload) {
+			t.Fatalf("trial %d: corrupt entry served wrong bytes", trial)
+		}
+		if !ok && err != nil && !errors.Is(err, pcerr.ErrStoreCorrupt) {
+			t.Fatalf("trial %d: unexpected error type %v", trial, err)
+		}
+		if ok {
+			// A truncation at exactly full length is a no-op; fine.
+			continue
+		}
+		s.Close()
+	}
+}
+
+// TestPutFaultsDegrade drives Puts through ENOSPC/EIO/rename faults:
+// each fails typed without aborting the store, commits nothing under
+// the final name, and later Puts succeed.
+func TestPutFaultsDegrade(t *testing.T) {
+	for _, f := range []faultfs.Fault{
+		{Op: faultfs.OpWrite, After: 1, Err: syscall.ENOSPC},
+		{Op: faultfs.OpWrite, After: 1, Err: syscall.EIO, Torn: true},
+		{Op: faultfs.OpSync, After: 1, Err: syscall.EIO},
+		{Op: faultfs.OpRename, After: 1, Err: syscall.EIO},
+		{Op: faultfs.OpOpen, After: 1, Err: syscall.ENOSPC},
+	} {
+		t.Run(fmt.Sprintf("%s-after-%d", f.Op, f.After), func(t *testing.T) {
+			dir := t.TempDir()
+			clean := mustOpen(t, Options{Dir: dir})
+			clean.Close()
+			fs := faultfs.New(faultfs.OS(), []faultfs.Fault{f})
+			s := mustOpen(t, Options{Dir: dir, FS: fs})
+			// One Put eats the fault (Open's journal handling may have
+			// consumed open/write budget; fire Puts until one fails or
+			// the schedule is spent).
+			var putErr error
+			for i := 0; i < 4 && putErr == nil && fs.Fired() == 0; i++ {
+				putErr = s.Put(keyN(i), payloadN(i))
+			}
+			if fs.Fired() == 0 {
+				t.Skip("schedule consumed by journal machinery before any Put")
+			}
+			if putErr == nil {
+				// Fault landed on journal/compaction machinery: fine,
+				// that path must degrade silently.
+				return
+			}
+			if !errors.Is(putErr, f.Err) {
+				t.Fatalf("put error %v does not wrap %v", putErr, f.Err)
+			}
+			// The store still works for the next Put and nothing
+			// half-written is served.
+			if err := s.Put(keyN(9), payloadN(9)); err != nil {
+				t.Fatalf("put after fault: %v", err)
+			}
+			got, ok, err := s.Get(keyN(9))
+			if !ok || err != nil || !bytes.Equal(got, payloadN(9)) {
+				t.Fatalf("get after fault: %v %v", ok, err)
+			}
+		})
+	}
+}
+
+// TestCrashMidPutLeavesNoEntry crashes the FS during a Put's write:
+// after "reboot" (fresh Store, clean FS) the key misses cleanly and the
+// orphan temp file is gone.
+func TestCrashMidPutLeavesNoEntry(t *testing.T) {
+	dir := t.TempDir()
+	clean := mustOpen(t, Options{Dir: dir})
+	if err := clean.Put(keyN(0), payloadN(0)); err != nil {
+		t.Fatal(err)
+	}
+	clean.Close()
+
+	fs := faultfs.New(faultfs.OS(), []faultfs.Fault{
+		{Op: faultfs.OpWrite, After: 2, Err: syscall.EIO, Torn: true, Crash: true},
+	})
+	s, err := Open(Options{Dir: dir, FS: fs})
+	if err != nil {
+		t.Skipf("open died under schedule: %v", err)
+	}
+	for i := 1; i < 6 && !fs.Crashed(); i++ {
+		s.Put(keyN(i), payloadN(i))
+	}
+	if !fs.Crashed() {
+		t.Fatal("schedule never crashed")
+	}
+
+	s2 := mustOpen(t, Options{Dir: dir})
+	if got, ok, err := s2.Get(keyN(0)); !ok || err != nil || !bytes.Equal(got, payloadN(0)) {
+		t.Fatalf("pre-crash entry lost: %v %v", ok, err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if len(de.Name()) > len(tmpPrefix) && de.Name()[:len(tmpPrefix)] == tmpPrefix {
+			t.Fatalf("orphan temp file %s survived reopen", de.Name())
+		}
+	}
+	// Whatever committed before the crash must read back valid.
+	for i := 1; i < 6; i++ {
+		got, ok, err := s2.Get(keyN(i))
+		if err != nil {
+			t.Fatalf("post-crash entry %d corrupt: %v", i, err)
+		}
+		if ok && !bytes.Equal(got, payloadN(i)) {
+			t.Fatalf("post-crash entry %d has wrong bytes", i)
+		}
+	}
+}
+
+// TestConcurrentPutGet hammers the store from parallel goroutines; run
+// under -race in CI.
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), Budget: 20 * (200 + int64(entryOverhead))})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				k := keyN(i % 25)
+				if got, ok, err := s.Get(k); err == nil && ok {
+					if !bytes.Equal(got, payloadN(i%25)) {
+						t.Errorf("wrong bytes for %d", i%25)
+					}
+				}
+				s.Put(k, payloadN(i%25))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("corruption under concurrency: %+v", st)
+	}
+}
+
+// FuzzEntryCorruption is the fuzz form of the corruption matrix: any
+// byte-level mutation of a committed entry must produce the original
+// payload, a clean miss, or ErrStoreCorrupt - never different bytes.
+func FuzzEntryCorruption(f *testing.F) {
+	f.Add([]byte("payload"), uint16(3), byte(0xff), false)
+	f.Add([]byte{}, uint16(0), byte(1), true)
+	f.Add(bytes.Repeat([]byte{0xAB}, 300), uint16(299), byte(0x80), true)
+	f.Fuzz(func(t *testing.T, payload []byte, pos uint16, flip byte, truncate bool) {
+		dir := t.TempDir()
+		s, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		k := KeyOf(payload)
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, k.String()+entrySuffix)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := int(pos) % len(data)
+		mutated := false
+		if truncate {
+			data = data[:p]
+			mutated = true
+		} else if flip != 0 {
+			data[p] ^= flip
+			mutated = true
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := s.Get(k)
+		if ok {
+			if !bytes.Equal(got, payload) {
+				t.Fatal("mutated entry served wrong bytes")
+			}
+			return
+		}
+		if err != nil && !errors.Is(err, pcerr.ErrStoreCorrupt) {
+			t.Fatalf("unexpected error type: %v", err)
+		}
+		if mutated && err == nil {
+			// A truncation to full length or flip of 0 is a no-op;
+			// everything else must have been flagged, not silently
+			// missed. (A miss without error only happens when the file
+			// vanished, which this test never does.)
+			t.Fatal("mutated entry neither served nor flagged corrupt")
+		}
+	})
+}

@@ -40,6 +40,7 @@ type sessionConfig struct {
 	shards       []string
 	retry        RetryPolicy
 	naive        bool
+	store        *dataset.ResultStore
 }
 
 // WithWorkers bounds the worker pool used by Explore and GenerateDataset
@@ -165,6 +166,9 @@ func NewSession(opts ...Option) *Session {
 	// Speedup): nothing else competes for the machine there, so its
 	// batched replays sweep over the full budget (0 = GOMAXPROCS).
 	s.ev.SetSweepWorkers(cfg.sweepWorkers)
+	if cfg.store != nil {
+		s.ev.SetStore(cfg.store)
+	}
 	return s
 }
 
