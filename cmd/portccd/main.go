@@ -7,13 +7,20 @@
 // Usage:
 //
 //	portccd [-listen :7077] [-workers N] [-sweep-workers N] [-heartbeat 1s]
-//	        [-store dir] [-store-budget bytes]
+//	        [-store dir] [-store-budget bytes] [-store-remote host:port]
 //
 // With -store the daemon keeps a persistent content-addressed result
 // store shared by every run it serves: replays whose inputs match a
 // stored entry are answered from disk, so a daemon restarted after a
 // crash (kill -9 included) serves the resubmitted grid mostly from
-// cache. Result streams are bit-identical with or without the store;
+// cache. With -store-remote the store is tiered behind the shared
+// store service at that address (a running portccsd): lookups check
+// the local directory first, then the service, and fresh replays are
+// committed to both, so one shard's work answers the whole fleet's.
+// Either flag works alone - -store-remote without -store leans on the
+// fleet cache only. Result streams are bit-identical with or without
+// any store tier and under every service failure (dead process, torn
+// frames, slow replies all degrade to local misses, bounded in time);
 // corrupt entries are quarantined and recomputed.
 //
 // The wire handshake carries the protocol and dataset schema versions,
@@ -48,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"portcc/internal/cliutil"
 	"portcc/internal/dataset"
 	"portcc/internal/sched"
 	"portcc/internal/wire"
@@ -63,17 +71,32 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "liveness heartbeat period on quiet connections")
 	storeDir := flag.String("store", "", "persistent result-store directory shared across runs (empty = none)")
 	storeBudget := flag.Int64("store-budget", 0, "result-store size bound in bytes, LRU-evicted (0 = unbounded)")
+	storeRemote := flag.String("store-remote", "",
+		"shared store-service address (host:port of portccsd); tiered behind -store when both are set")
 	flag.Parse()
 
 	var rstore *dataset.ResultStore
-	if *storeDir != "" {
-		var err error
+	var err error
+	switch {
+	case *storeRemote != "":
+		rstore, err = dataset.OpenResultStoreRemote(*storeDir, *storeBudget, *storeRemote)
+	case *storeDir != "":
 		rstore, err = dataset.OpenResultStore(*storeDir, *storeBudget)
-		if err != nil {
-			log.Fatal(err)
-		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rstore != nil {
 		defer rstore.Close()
-		log.Printf("result store at %s (budget %d bytes)", *storeDir, *storeBudget)
+		defer func() { log.Print(cliutil.StoreStats(rstore)) }()
+		switch {
+		case *storeDir != "" && *storeRemote != "":
+			log.Printf("result store at %s (budget %d bytes), tiered behind service %s", *storeDir, *storeBudget, *storeRemote)
+		case *storeRemote != "":
+			log.Printf("result store: fleet service %s (no local tier)", *storeRemote)
+		default:
+			log.Printf("result store at %s (budget %d bytes)", *storeDir, *storeBudget)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *listen)

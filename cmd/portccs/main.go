@@ -7,7 +7,7 @@
 //
 //	portccs -model model.gob [-addr :7078] [-cache N]
 //	        [-max-inflight N] [-max-queue N] [-reload dur]
-//	        [-store dir] [-store-budget bytes]
+//	        [-store dir] [-store-budget bytes] [-store-remote host:port]
 //
 // Endpoints:
 //
@@ -22,8 +22,11 @@
 // (program, uarch) queries hit an LRU feature cache and skip the
 // profiling simulation entirely. With -store the profiling replays
 // also hit a persistent content-addressed result store, so a restarted
-// server warms from disk instead of re-simulating its fleet's programs
-// (store health is visible as portccs_store_* counters on /metrics).
+// server warms from disk instead of re-simulating its fleet's programs;
+// with -store-remote the store tiers behind the fleet's shared store
+// service (portccsd), so replays any worker already ran are never
+// re-simulated here (store health is visible as portccs_store_* and
+// portccs_store_remote_* counters on /metrics).
 // When the artifact file changes on disk it is hot-reloaded
 // (content-fingerprint checked); excess load beyond the admission
 // bounds is shed with HTTP 429 + Retry-After.
@@ -66,7 +69,14 @@ func main() {
 	}
 	if rstore != nil {
 		defer rstore.Close()
-		log.Printf("result store at %s", cf.Store)
+		switch {
+		case cf.Store != "" && cf.StoreRemote != "":
+			log.Printf("result store at %s, tiered behind service %s", cf.Store, cf.StoreRemote)
+		case cf.StoreRemote != "":
+			log.Printf("result store: fleet service %s (no local tier)", cf.StoreRemote)
+		default:
+			log.Printf("result store at %s", cf.Store)
+		}
 	}
 	srv, err := serve.New(serve.Config{
 		ModelPath:    cf.Model,

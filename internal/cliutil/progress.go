@@ -32,6 +32,7 @@ type Flags struct {
 	Addr         string
 	Store        string
 	StoreBudget  int64
+	StoreRemote  string
 	shards       string
 	shardRetries int
 	shardBackoff time.Duration
@@ -121,30 +122,47 @@ func (f *Flags) RegisterStore() {
 		"persistent result-store directory for resumable generation (empty = none)")
 	flag.Int64Var(&f.StoreBudget, "store-budget", 0,
 		"result-store size bound in bytes, LRU-evicted (0 = unbounded)")
+	flag.StringVar(&f.StoreRemote, "store-remote", "",
+		"shared store-service address (host:port of portccsd); combined with -store as a local-then-remote tier, alone as a fleet-only cache")
 }
 
-// OpenStore opens the result store the store flags describe, returning
-// (nil, nil) when -store is unset. The caller owns Close.
+// OpenStore opens the result store the store flags describe - the
+// local directory, the shared service, or both tiered - returning
+// (nil, nil) when neither flag is set. The caller owns Close.
 func (f *Flags) OpenStore() (*dataset.ResultStore, error) {
-	if f.Store == "" {
-		return nil, nil
+	switch {
+	case f.StoreRemote != "":
+		rs, err := dataset.OpenResultStoreRemote(f.Store, f.StoreBudget, f.StoreRemote)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: -store: %w", err)
+		}
+		return rs, nil
+	case f.Store != "":
+		rs, err := dataset.OpenResultStore(f.Store, f.StoreBudget)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: -store: %w", err)
+		}
+		return rs, nil
 	}
-	rs, err := dataset.OpenResultStore(f.Store, f.StoreBudget)
-	if err != nil {
-		return nil, fmt.Errorf("cliutil: -store: %w", err)
-	}
-	return rs, nil
+	return nil, nil
 }
 
 // StoreStats formats a one-line summary of a store's ledger for tool
-// output; empty when no store is attached.
+// output; empty when no store is attached. A tiered store's remote
+// traffic gets its own clause so a fleet run shows at a glance how
+// much work the service saved (and how often it was unreachable).
 func StoreStats(rs *dataset.ResultStore) string {
 	if rs == nil {
 		return ""
 	}
 	s := rs.Stats()
-	return fmt.Sprintf("store: %d hits, %d misses, %d corrupt quarantined, %d put errors (%d entries, %d bytes, %d evicted)",
+	line := fmt.Sprintf("store: %d hits, %d misses, %d corrupt quarantined, %d put errors (%d entries, %d bytes, %d evicted)",
 		s.Hits, s.Misses, s.Corrupt, s.PutErrors, s.Entries, s.Bytes, s.Evictions)
+	if s.RemoteHits != 0 || s.RemoteMisses != 0 || s.RemoteErrors != 0 || s.RemotePuts != 0 || s.RemotePutErrors != 0 {
+		line += fmt.Sprintf("; remote: %d hits, %d misses, %d degraded, %d puts, %d lost",
+			s.RemoteHits, s.RemoteMisses, s.RemoteErrors, s.RemotePuts, s.RemotePutErrors)
+	}
+	return line
 }
 
 // RegisterModel installs the shared -model flag: the path of a trained

@@ -242,8 +242,18 @@ type Stats struct {
 	// persistent result store's ledger (zero without one): replays
 	// answered from disk, replays that had to run, and entries
 	// quarantined as corrupt. The counters are store-global, so
-	// evaluators sharing a store report the shared totals.
+	// evaluators sharing a store report the shared totals. For a tiered
+	// store, StoreHits counts replays answered by any tier.
 	StoreHits, StoreMisses, StoreCorrupt int64
+
+	// The StoreRemote* counters describe the shared-service tier of a
+	// tiered result store (zero for a purely local one): replays
+	// answered by the fleet's store service, lookups it answered with a
+	// miss, and lookups degraded by transport trouble (dead service,
+	// torn frames, slow replies - absorbed as misses). StorePutErrors
+	// counts local commits the disk refused.
+	StoreRemoteHits, StoreRemoteMisses, StoreRemoteErrors int64
+	StorePutErrors                                        int64
 }
 
 // Stats returns the work counters under the evaluator's lock, safe
@@ -263,6 +273,8 @@ func (e *Evaluator) Stats() Stats {
 	if e.rstore != nil {
 		ss := e.rstore.Stats()
 		st.StoreHits, st.StoreMisses, st.StoreCorrupt = ss.Hits, ss.Misses, ss.Corrupt
+		st.StoreRemoteHits, st.StoreRemoteMisses, st.StoreRemoteErrors = ss.RemoteHits, ss.RemoteMisses, ss.RemoteErrors
+		st.StorePutErrors = ss.PutErrors
 	}
 	return st
 }

@@ -147,9 +147,13 @@ type ExploreOptions struct {
 	// Store, when set, is the persistent content-addressed result store
 	// the batched path answers replays from and commits them to, making
 	// generation resumable: a run killed mid-flight restarts with most
-	// cells served from disk and a byte-identical dataset. Like Workers
-	// it is an execution parameter and never serialised; a sharded run's
-	// stores live daemon-side (portccd -store).
+	// cells served from disk and a byte-identical dataset. A tiered
+	// store (OpenResultStoreRemote) additionally consults the fleet's
+	// shared store service and commits fresh replays there, so one
+	// machine's work answers every machine's lookups; every service
+	// failure degrades to a local miss. Like Workers it is an execution
+	// parameter and never serialised; a sharded run's stores live
+	// daemon-side (portccd -store / -store-remote).
 	Store *ResultStore
 }
 

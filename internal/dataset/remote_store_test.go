@@ -1,0 +1,209 @@
+// End-to-end tests of the shared store service under the dataset
+// pipeline: a fleet of generations pointed at one portccsd-style
+// service must produce byte-identical datasets to storeless runs -
+// with the service healthy, killed mid-run, or serving through a
+// seeded fault schedule - and a second fleet run must recompute
+// nothing, answering every shared cell from the service.
+package dataset
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"portcc/internal/faultnet"
+	"portcc/internal/store"
+)
+
+// storeService runs one wire-protocol store service over a fresh
+// directory for a test.
+type storeService struct {
+	addr     string
+	sv       *store.Service
+	cancel   context.CancelFunc
+	done     chan error
+	stopOnce sync.Once
+}
+
+func startStoreService(t *testing.T, plan faultnet.Plan) *storeService {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serveLn net.Listener = ln
+	if plan != nil {
+		serveLn = faultnet.Wrap(ln, plan)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ss := &storeService{
+		addr:   ln.Addr().String(),
+		sv:     store.NewService(st, store.ServiceConfig{Format: FormatVersion}),
+		cancel: cancel,
+		done:   make(chan error, 1),
+	}
+	go func() { ss.done <- ss.sv.Serve(ctx, serveLn) }()
+	t.Cleanup(ss.stop)
+	return ss
+}
+
+func (ss *storeService) stop() {
+	ss.stopOnce.Do(func() {
+		ss.cancel()
+		select {
+		case <-ss.done:
+		case <-time.After(10 * time.Second):
+		}
+	})
+}
+
+// saveBytes serialises one generated dataset, for byte comparison.
+func saveBytes(t *testing.T, ds *Dataset) []byte {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "ds.gob")
+	if err := ds.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// openRemoteStore opens a tiered result store against the service.
+func openRemoteStore(t *testing.T, dir, addr string) *ResultStore {
+	t.Helper()
+	rs, err := OpenResultStoreRemote(dir, 0, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+	return rs
+}
+
+// TestRemoteStoreFleetSharing is the acceptance contract: shard A
+// generates through the service (byte-identical to storeless), then
+// shard B - fresh local directory, same service - generates the same
+// grid byte-identically with zero recomputations: every replay is
+// answered by the service that A fed.
+func TestRemoteStoreFleetSharing(t *testing.T) {
+	ref := generateBytes(t, ExploreOptions{Workers: 2})
+	ss := startStoreService(t, nil)
+
+	a := openRemoteStore(t, t.TempDir(), ss.addr)
+	if got := generateBytes(t, ExploreOptions{Workers: 2, Store: a}); !bytes.Equal(got, ref) {
+		t.Fatal("shard A's service-backed dataset differs from storeless dataset")
+	}
+	as := a.Stats()
+	if as.RemotePuts == 0 {
+		t.Fatalf("shard A shared nothing with the service: %+v", as)
+	}
+	if as.RemoteErrors != 0 {
+		t.Fatalf("healthy service degraded requests: %+v", as)
+	}
+
+	b := openRemoteStore(t, t.TempDir(), ss.addr)
+	if got := generateBytes(t, ExploreOptions{Workers: 2, Store: b}); !bytes.Equal(got, ref) {
+		t.Fatal("shard B's service-backed dataset differs from storeless dataset")
+	}
+	bs := b.Stats()
+	if bs.Misses != 0 {
+		t.Fatalf("shard B recomputed %d shared cells, want zero: %+v", bs.Misses, bs)
+	}
+	if bs.RemoteHits == 0 || bs.RemoteHits != bs.Hits {
+		t.Fatalf("shard B's replays were not all answered by the service: %+v", bs)
+	}
+	if svc := ss.sv.Stats(); svc.Hits == 0 || svc.Puts == 0 {
+		t.Fatalf("service ledger shows no sharing: %+v", svc)
+	}
+}
+
+// TestRemoteStoreServiceKilledMidRun kills the service partway through
+// a generation: the shard degrades every later lookup to its local
+// tier and the dataset stays byte-identical - a dead fleet cache is a
+// performance event, not a correctness event.
+func TestRemoteStoreServiceKilledMidRun(t *testing.T) {
+	ref := generateBytes(t, ExploreOptions{Workers: 2})
+	ss := startStoreService(t, nil)
+
+	rs := openRemoteStore(t, t.TempDir(), ss.addr)
+	var once sync.Once
+	ds, err := GenerateWith(context.Background(), storeConfig(), ExploreOptions{
+		Workers: 2,
+		Store:   rs,
+		Progress: func(done, total int) {
+			if done >= total/3 {
+				once.Do(ss.stop) // SIGKILL, in-process
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("generation with a dying service: %v", err)
+	}
+	got := saveBytes(t, ds)
+	if !bytes.Equal(got, ref) {
+		t.Fatal("dataset with service killed mid-run differs from storeless dataset")
+	}
+
+	// The rerun against the dead service leans on the local tier alone:
+	// still byte-identical, with the degradation visible in counters.
+	if got := generateBytes(t, ExploreOptions{Workers: 2, Store: rs}); !bytes.Equal(got, ref) {
+		t.Fatal("rerun against the dead service differs")
+	}
+	if s := rs.Stats(); s.Hits == 0 {
+		t.Fatalf("local tier answered nothing on the rerun: %+v", s)
+	}
+}
+
+// TestRemoteStoreChaosByteIdentical serves the store through seeded
+// fault schedules - connections dying on accept, mid-read, mid-write
+// (torn frames) and crawling - and requires byte-identical datasets
+// under every schedule: transport chaos degrades to misses, never to
+// wrong cycles or stalls.
+func TestRemoteStoreChaosByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service chaos in -short mode")
+	}
+	ref := generateBytes(t, ExploreOptions{Workers: 2})
+	for _, seed := range []int64{3, 17, 29} {
+		ss := startStoreService(t, faultnet.Seeded(seed, 4))
+		rs := openRemoteStore(t, t.TempDir(), ss.addr)
+		if got := generateBytes(t, ExploreOptions{Workers: 2, Store: rs}); !bytes.Equal(got, ref) {
+			t.Fatalf("dataset under service fault schedule %d differs", seed)
+		}
+		ss.stop()
+	}
+}
+
+// TestRemoteOnlyStoreByteIdentical runs a shard with no local
+// directory at all: the service is the only cache tier, and a second
+// run answers everything from it.
+func TestRemoteOnlyStoreByteIdentical(t *testing.T) {
+	ref := generateBytes(t, ExploreOptions{Workers: 2})
+	ss := startStoreService(t, nil)
+
+	first := openRemoteStore(t, "", ss.addr)
+	if got := generateBytes(t, ExploreOptions{Workers: 2, Store: first}); !bytes.Equal(got, ref) {
+		t.Fatal("remote-only dataset differs from storeless dataset")
+	}
+	first.Close()
+
+	second := openRemoteStore(t, "", ss.addr)
+	if got := generateBytes(t, ExploreOptions{Workers: 2, Store: second}); !bytes.Equal(got, ref) {
+		t.Fatal("warm remote-only dataset differs")
+	}
+	if s := second.Stats(); s.Misses != 0 || s.Hits == 0 {
+		t.Fatalf("warm remote-only run recomputed cells: %+v", s)
+	}
+}

@@ -44,8 +44,15 @@ const resultFields = 18
 // All methods are safe for concurrent use and absorb store failures:
 // Get returns ok=false on miss, corruption (quarantined inside the
 // store) and I/O trouble alike; Put's failures only show in Stats.
+//
+// The backend may be a local directory (OpenResultStore), a
+// local-then-remote tier over a shared store service
+// (OpenResultStoreRemote), or anything else satisfying store.Backend;
+// the pipeline above this seam cannot tell them apart, which is the
+// point - datasets are byte-identical under every backend and every
+// backend failure.
 type ResultStore struct {
-	s *store.Store
+	s store.Backend
 }
 
 // OpenResultStore opens (creating if needed) a result store rooted at
@@ -62,6 +69,34 @@ func OpenResultStoreFS(dir string, budget int64, fs faultfs.FS) (*ResultStore, e
 		return nil, err
 	}
 	return &ResultStore{s: s}, nil
+}
+
+// OpenResultStoreRemote opens a tiered result store: the local
+// directory at dir (skipped when dir is empty - a shard with no cache
+// disk leans on the fleet alone) backed by the store service at addr.
+// Gets check local first, then the service, writing remote hits back;
+// Puts commit to both, so every shard's work is shared fleet-wide. The
+// service connection is dialled lazily and every transport failure -
+// dead service, torn frame, slow reply, version skew - degrades to a
+// local miss, bounded in time: a run with the service down is just a
+// run with a cold shared tier.
+func OpenResultStoreRemote(dir string, budget int64, addr string) (*ResultStore, error) {
+	return OpenResultStoreRemoteFS(dir, budget, addr, nil)
+}
+
+// OpenResultStoreRemoteFS is OpenResultStoreRemote on an explicit
+// filesystem for the local tier.
+func OpenResultStoreRemoteFS(dir string, budget int64, addr string, fs faultfs.FS) (*ResultStore, error) {
+	var local *store.Store
+	if dir != "" {
+		s, err := store.Open(store.Options{Dir: dir, Budget: budget, FS: fs})
+		if err != nil {
+			return nil, err
+		}
+		local = s
+	}
+	remote := store.NewRemote(store.RemoteOptions{Addr: addr, Format: FormatVersion})
+	return &ResultStore{s: store.NewTiered(local, remote)}, nil
 }
 
 // Close compacts and closes the store's journal.

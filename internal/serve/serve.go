@@ -243,6 +243,12 @@ func (s *Server) initEvalMetrics() {
 		"Profiling replays not found in the persistent result store.", stat(func(st dataset.Stats) float64 { return float64(st.StoreMisses) }))
 	s.reg2.CounterFunc("portccs_store_corrupt_total",
 		"Corrupt result-store entries quarantined on read.", stat(func(st dataset.Stats) float64 { return float64(st.StoreCorrupt) }))
+	s.reg2.CounterFunc("portccs_store_remote_hits_total",
+		"Profiling replays answered by the shared store service.", stat(func(st dataset.Stats) float64 { return float64(st.StoreRemoteHits) }))
+	s.reg2.CounterFunc("portccs_store_remote_misses_total",
+		"Store-service lookups the service answered with a miss.", stat(func(st dataset.Stats) float64 { return float64(st.StoreRemoteMisses) }))
+	s.reg2.CounterFunc("portccs_store_remote_errors_total",
+		"Store-service lookups degraded by transport trouble (absorbed as misses).", stat(func(st dataset.Stats) float64 { return float64(st.StoreRemoteErrors) }))
 }
 
 // ArchSpec is the JSON microarchitecture description of a predict

@@ -98,10 +98,31 @@ type Options struct {
 	FS faultfs.FS
 }
 
+// Backend is the contract every result-store implementation satisfies:
+// the single-directory Store, the Remote client of a store service, and
+// the Tiered composition of both. Callers above the seam (the dataset
+// layer's ResultStore) neither know nor care which one answers.
+type Backend interface {
+	// Get returns the payload stored under k; (nil, false, nil) is a
+	// clean miss, a non-nil error wraps pcerr.ErrStoreCorrupt.
+	Get(k Key) ([]byte, bool, error)
+	// Put commits payload under k; failures degrade to uncached entries.
+	Put(k Key, payload []byte) error
+	// Quarantine retires k after owner-level validation rejected bytes
+	// the store-level checksum accepted.
+	Quarantine(k Key, reason error) error
+	// Stats returns the operation ledger.
+	Stats() Stats
+	// Close releases the backend's resources.
+	Close() error
+}
+
 // Stats is the store's operation ledger, readable concurrently.
 type Stats struct {
 	// Hits and Misses count Get outcomes; Corrupt counts entries
 	// quarantined (by Get validation or by the owner via Quarantine).
+	// For a Tiered backend, Hits counts Gets answered by any tier and
+	// Misses the Gets no tier could answer.
 	Hits, Misses, Corrupt int64
 	// Puts counts committed entries; PutErrors counts Puts that failed
 	// (ENOSPC, EIO, rename failure, crash) - degraded, not fatal.
@@ -111,6 +132,15 @@ type Stats struct {
 	// Entries and Bytes describe the resident set.
 	Entries int
 	Bytes   int64
+	// The Remote* counters describe the remote tier of a Tiered backend
+	// (always zero for a plain Store): Gets answered by the service,
+	// Gets the service answered with a miss, and requests degraded by
+	// transport trouble (dead service, torn frames, slow replies -
+	// each one cost a timeout or a reconnect and was absorbed as a
+	// miss). RemotePuts counts entries acknowledged by the service and
+	// RemotePutErrors the commits it lost.
+	RemoteHits, RemoteMisses, RemoteErrors int64
+	RemotePuts, RemotePutErrors            int64
 }
 
 type entryInfo struct {
@@ -141,7 +171,14 @@ type Store struct {
 	journalLen  int
 	tmpSeq      int
 	quarantined int
+	// handle distinguishes this Store from every other open handle in
+	// this process; with the pid it keeps temp names collision-free
+	// across writers sharing one directory.
+	handle int64
 }
+
+// handleSeq hands every opened Store a process-unique handle id.
+var handleSeq atomic.Int64
 
 // Open opens (creating if needed) a store directory: orphan temp files
 // from crashed writers are removed, membership and sizes are rebuilt
@@ -165,6 +202,7 @@ func Open(o Options) (*Store, error) {
 		fs:       fs,
 		entries:  map[Key]entryInfo{},
 		poisoned: map[Key]bool{},
+		handle:   handleSeq.Add(1),
 	}
 	if err := s.rebuild(); err != nil {
 		return nil, err
@@ -261,7 +299,10 @@ func (s *Store) readJournal() []Key {
 	}
 	out := make([]Key, 0, len(last))
 	for i, k := range seq {
-		if last[k] == i {
+		// Comma-ok: a deleted key must stay deleted. A bare last[k]
+		// yields the zero value for it, which a 'p' at sequence
+		// position 0 matches, resurrecting the key.
+		if j, ok := last[k]; ok && j == i {
 			out = append(out, k)
 		}
 	}
@@ -411,7 +452,12 @@ func (s *Store) Put(k Key, payload []byte) error {
 		return nil
 	}
 	s.tmpSeq++
-	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%d-%s", tmpPrefix, s.tmpSeq, k.String()[:16]))
+	// The temp name carries pid and handle id besides the sequence
+	// number: two writers sharing the directory (other processes, or
+	// two handles in this one) must never collide on the same O_EXCL
+	// open, or the loser counts a spurious PutError for an entry the
+	// winner is committing anyway.
+	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%d-%d-%d-%s", tmpPrefix, os.Getpid(), s.handle, s.tmpSeq, k.String()[:16]))
 	delete(s.poisoned, k) // a fresh commit supersedes a poisoned past
 	s.mu.Unlock()
 
@@ -495,24 +541,35 @@ func (s *Store) collectEvictions() []Key {
 }
 
 // touch refreshes k's recency (registering it if the index did not know
-// it - another process may have committed it). Called without s.mu.
+// it - another process may have committed it). Registration grows the
+// resident set, so it enforces the byte budget exactly like Put does:
+// without that, a handle that only ever reads a shared directory would
+// grow past -store-budget indefinitely between its own Puts. Called
+// without s.mu.
 func (s *Store) touch(k Key, size int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.entries[k]; !ok {
 		s.entries[k] = entryInfo{size: size}
 		s.bytes += size
 	}
+	moved := false
 	for i, ok := range s.order {
 		if ok == k {
 			copy(s.order[i:], s.order[i+1:])
 			s.order[len(s.order)-1] = k
-			s.logf('t', k)
-			return
+			moved = true
+			break
 		}
 	}
-	s.order = append(s.order, k)
+	if !moved {
+		s.order = append(s.order, k)
+	}
 	s.logf('t', k)
+	evict := s.collectEvictions()
+	s.mu.Unlock()
+	for _, old := range evict {
+		s.fs.Remove(s.entryPath(old))
+	}
 }
 
 // forget drops k from the index (its file is gone). Called without s.mu.

@@ -454,3 +454,125 @@ func FuzzEntryCorruption(f *testing.F) {
 		}
 	})
 }
+
+// TestJournalDeletedKeyStaysDeleted pins the readJournal comma-ok
+// regression: a key whose 'p' record sits at sequence position 0 and is
+// later deleted must not re-enter the recency order - the bare map read
+// last[k] returns the zero value 0 for a deleted key, which matches
+// position 0 exactly.
+func TestJournalDeletedKeyStaysDeleted(t *testing.T) {
+	dir := t.TempDir()
+	k0, k1 := keyN(0), keyN(1)
+	journal := fmt.Sprintf("p %s\np %s\nd %s\n", k0, k1, k0)
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := &Store{dir: dir, fs: faultfs.OS()}
+	got := s.readJournal()
+	if len(got) != 1 || got[0] != k1 {
+		t.Fatalf("readJournal resurrected a deleted key: got %d keys %v, want [%s]", len(got), got, k1)
+	}
+}
+
+// TestJournalDeletedThenReputKey is the positive twin: a delete followed
+// by a fresh 'p' is a live key again, at its new (warmer) position.
+func TestJournalDeletedThenReputKey(t *testing.T) {
+	dir := t.TempDir()
+	k0, k1 := keyN(0), keyN(1)
+	journal := fmt.Sprintf("p %s\nd %s\np %s\np %s\n", k0, k0, k1, k0)
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := &Store{dir: dir, fs: faultfs.OS()}
+	got := s.readJournal()
+	want := []Key{k1, k0}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("readJournal order = %v, want %v", got, want)
+	}
+}
+
+// TestTouchRegistrationEvicts pins the shared-directory budget bug: a
+// handle that only ever reads entries committed by another writer
+// registers them on the Get path (touch), and that registration must
+// enforce the byte budget exactly like a Put - otherwise a read-mostly
+// handle on a shared directory grows past -store-budget indefinitely.
+func TestTouchRegistrationEvicts(t *testing.T) {
+	dir := t.TempDir()
+	entryBytes := 100 + int64(entryOverhead) // payloadN(0) is 100 bytes
+	budget := 3 * (entryBytes + 10)
+
+	reader := mustOpen(t, Options{Dir: dir, Budget: budget})
+	writer := mustOpen(t, Options{Dir: dir}) // unbounded: never evicts itself
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := writer.Put(keyN(100+i), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+		// The reader discovers the foreign entry and must stay bounded.
+		if _, ok, err := reader.Get(keyN(100 + i)); !ok || err != nil {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	st := reader.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("reader blew through the budget: %d resident bytes > %d budget (%d entries)", st.Bytes, budget, st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions despite %d foreign entries against a %d-byte budget", n, budget)
+	}
+	// The evicted files must actually be gone from the shared directory.
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents := 0
+	for _, de := range des {
+		if filepath.Ext(de.Name()) == entrySuffix {
+			ents++
+		}
+	}
+	if int64(ents)*entryBytes > budget {
+		t.Fatalf("%d entry files on disk exceed the %d-byte budget", ents, budget)
+	}
+}
+
+// TestTwoWriterTempNamesDoNotCollide pins the tmpSeq collision bug: two
+// handles on one directory putting the same keys in the same order used
+// to derive identical .tmp-N-<key> names, so the loser of each O_EXCL
+// race counted a spurious PutError. With pid+handle mixed in, both
+// writers commit cleanly.
+func TestTwoWriterTempNamesDoNotCollide(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, Options{Dir: dir})
+	b := mustOpen(t, Options{Dir: dir})
+
+	const n = 50
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for _, s := range []*Store{a, b} {
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < n; i++ {
+				s.Put(keyN(200+i), payloadN(i%30))
+			}
+		}(s)
+	}
+	close(start)
+	wg.Wait()
+
+	if sa, sb := a.Stats(), b.Stats(); sa.PutErrors != 0 || sb.PutErrors != 0 {
+		t.Fatalf("spurious put errors from colliding temp names: a=%d b=%d", sa.PutErrors, sb.PutErrors)
+	}
+	for i := 0; i < n; i++ {
+		got, ok, err := a.Get(keyN(200 + i))
+		if !ok || err != nil {
+			t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(got, payloadN(i%30)) {
+			t.Fatalf("key %d: wrong bytes", i)
+		}
+	}
+}

@@ -91,16 +91,48 @@ type Fail struct {
 	Msg string
 }
 
+// StoreGet asks the store service for the entry under Key. ID correlates
+// the eventual StoreReply: the connection is pipelined, so replies may
+// arrive out of order relative to requests.
+type StoreGet struct {
+	ID  uint64
+	Key [32]byte
+}
+
+// StorePut offers the store service an entry to commit. The service
+// acknowledges with a StoreReply carrying the same ID (Err set when the
+// commit failed - degraded, not fatal).
+type StorePut struct {
+	ID      uint64
+	Key     [32]byte
+	Payload []byte
+}
+
+// StoreReply answers exactly one StoreGet or StorePut. For a Get, Found
+// reports presence and Payload carries the bytes; for a Put, Found is
+// true on commit. Err is the service-side rendering of a degraded
+// request (corrupt entry quarantined, full disk) - the client absorbs
+// it as a miss or a lost commit, never as wrong data.
+type StoreReply struct {
+	ID      uint64
+	Found   bool
+	Payload []byte
+	Err     string
+}
+
 // Frame is the single on-stream message type: exactly one field is
 // populated per frame (Heartbeat frames set only the flag).
 type Frame struct {
-	Hello     *Hello
-	Job       *Job
-	Assign    *Assign
-	Result    *Result
-	CellError *CellError
-	Fail      *Fail
-	Heartbeat bool
+	Hello      *Hello
+	Job        *Job
+	Assign     *Assign
+	Result     *Result
+	CellError  *CellError
+	Fail       *Fail
+	StoreGet   *StoreGet
+	StorePut   *StorePut
+	StoreReply *StoreReply
+	Heartbeat  bool
 }
 
 // Kind names the populated field, for protocol-error messages.
@@ -118,6 +150,12 @@ func (f *Frame) Kind() string {
 		return "cell-error"
 	case f.Fail != nil:
 		return "fail"
+	case f.StoreGet != nil:
+		return "store-get"
+	case f.StorePut != nil:
+		return "store-put"
+	case f.StoreReply != nil:
+		return "store-reply"
 	case f.Heartbeat:
 		return "heartbeat"
 	}

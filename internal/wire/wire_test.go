@@ -34,6 +34,10 @@ func TestFrameRoundTrips(t *testing.T) {
 		{Result: &Result{Index: 7, Payload: testPayload{Name: "cell-7"}}},
 		{CellError: &CellError{Index: 3, Msg: "boom", Code: CodeUnknownProgram, Sim: true, Program: "crc", Setting: 2, Arch: 5}},
 		{Fail: &Fail{Msg: "refused"}},
+		{StoreGet: &StoreGet{ID: 11, Key: [32]byte{1, 2, 3}}},
+		{StorePut: &StorePut{ID: 12, Key: [32]byte{4, 5}, Payload: []byte("cycles")}},
+		{StoreReply: &StoreReply{ID: 11, Found: true, Payload: []byte("cycles")}},
+		{StoreReply: &StoreReply{ID: 13, Err: "disk full"}},
 		{Heartbeat: true},
 	}
 	var buf bytes.Buffer

@@ -28,6 +28,18 @@ func OpenResultStore(dir string, budget int64) (*ResultStore, error) {
 	return dataset.OpenResultStore(dir, budget)
 }
 
+// OpenResultStoreRemote opens a tiered result store: the local
+// directory at dir (optional - empty means no local tier) backed by
+// the shared store service at addr (a running portccsd), so a fleet of
+// workers reuses one replay cache. Lookups check local first, then the
+// service, writing remote hits back locally; commits go to both. Every
+// service failure mode - dead process, torn frames, slow replies,
+// version skew - degrades to a local miss bounded in time: datasets
+// stay byte-identical whether the service is healthy, slow, or gone.
+func OpenResultStoreRemote(dir string, budget int64, addr string) (*ResultStore, error) {
+	return dataset.OpenResultStoreRemote(dir, budget, addr)
+}
+
 // WithResultStore attaches a persistent result store to the session:
 // Explore, GenerateDataset and the single-run methods answer matching
 // replays from it and commit fresh ones. Pass the same store to
